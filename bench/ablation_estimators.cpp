@@ -1,0 +1,44 @@
+// Ablation (design decision #1 in DESIGN.md): RLI's LINEAR interpolation vs
+// simpler estimators — left anchor only, right anchor only, nearest anchor.
+//
+// Not a paper figure; validates the estimator choice the architecture
+// inherits from RLI (SIGCOMM'10), which motivated interpolation by showing
+// delay locality makes in-between estimates accurate.
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/experiment.h"
+
+int main() {
+  using namespace rlir;
+
+  std::printf("# Ablation: interpolation estimator variants (static 1-and-100)\n\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "estimator", "util", "flows", "median",
+              "frac<=10%");
+
+  const char* s = std::getenv("RLIR_BENCH_SCALE");
+  const double scale = s != nullptr ? std::atof(s) : 1.0;
+
+  const rli::EstimatorKind kinds[] = {
+      rli::EstimatorKind::kLinear,
+      rli::EstimatorKind::kLeft,
+      rli::EstimatorKind::kRight,
+      rli::EstimatorKind::kNearest,
+  };
+  for (const double util : {0.67, 0.93}) {
+    for (const auto kind : kinds) {
+      exp::ExperimentConfig cfg;
+      cfg.estimator = kind;
+      cfg.target_utilization = util;
+      cfg.duration =
+          timebase::Duration::milliseconds(static_cast<std::int64_t>(400 * scale));
+      cfg.seed = 31;
+      const auto result = exp::run_two_hop_experiment(cfg);
+      const auto cdf = result.report.mean_error_cdf();
+      std::printf("%-10s %11.0f%% %12zu %11.2f%% %11.1f%%\n", to_string(kind), util * 100.0,
+                  cdf.size(), 100.0 * cdf.median(),
+                  100.0 * cdf.fraction_at_or_below(0.10));
+    }
+  }
+  return 0;
+}

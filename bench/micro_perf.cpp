@@ -1,0 +1,183 @@
+// Micro-benchmarks (google-benchmark) for the substrate's hot paths:
+// not a paper figure — validates that the building blocks are fast enough
+// for paper-scale replays (tens of millions of packets).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/lda.h"
+#include "common/rng.h"
+#include "net/hash.h"
+#include "net/prefix_table.h"
+#include "rli/receiver.h"
+#include "sim/queue.h"
+#include "timebase/clock.h"
+#include "topo/ecmp.h"
+#include "trace/flowmeter.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+using namespace rlir;
+
+net::FiveTuple random_key(common::Xoshiro256& rng) {
+  net::FiveTuple key;
+  key.src = net::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  key.dst = net::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  key.src_port = static_cast<std::uint16_t>(rng.next());
+  key.dst_port = static_cast<std::uint16_t>(rng.next());
+  key.proto = 6;
+  return key;
+}
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  common::Xoshiro256 rng(1);
+  std::vector<net::FiveTuple> keys;
+  for (int i = 0; i < 1024; ++i) keys.push_back(random_key(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys[i++ & 1023].hash());
+  }
+}
+BENCHMARK(BM_FlowKeyHash);
+
+void BM_EcmpCrc32Select(benchmark::State& state) {
+  common::Xoshiro256 rng(2);
+  topo::Crc32EcmpHasher hasher;
+  std::vector<net::FiveTuple> keys;
+  for (int i = 0; i < 1024; ++i) keys.push_back(random_key(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.select(keys[i++ & 1023], 0x1234, 4));
+  }
+}
+BENCHMARK(BM_EcmpCrc32Select);
+
+void BM_ReverseEcmpCore(benchmark::State& state) {
+  topo::FatTree topo(static_cast<int>(state.range(0)));
+  topo::Crc32EcmpHasher hasher;
+  common::Xoshiro256 rng(3);
+  const auto src = topo.tor(0, 0);
+  const auto dst = topo.tor(topo.pods() - 1, 0);
+  std::vector<net::FiveTuple> keys;
+  for (int i = 0; i < 1024; ++i) keys.push_back(random_key(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::reverse_ecmp_core(topo, hasher, keys[i++ & 1023], src, dst));
+  }
+}
+BENCHMARK(BM_ReverseEcmpCore)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_PrefixTableLookup(benchmark::State& state) {
+  net::PrefixTable<int> table;
+  // One /24 per ToR of a k=48 fat-tree (1152 rules).
+  for (int pod = 0; pod < 48; ++pod) {
+    for (int t = 0; t < 24; ++t) {
+      table.insert(net::Ipv4Prefix(net::Ipv4Address(10, static_cast<std::uint8_t>(pod),
+                                                    static_cast<std::uint8_t>(t), 0),
+                                   24),
+                   pod * 24 + t);
+    }
+  }
+  common::Xoshiro256 rng(4);
+  std::vector<net::Ipv4Address> addrs;
+  for (int i = 0; i < 1024; ++i) {
+    addrs.push_back(net::Ipv4Address(10, static_cast<std::uint8_t>(rng.uniform_u64(48)),
+                                     static_cast<std::uint8_t>(rng.uniform_u64(24)),
+                                     static_cast<std::uint8_t>(rng.uniform_u64(254) + 1)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup_ptr(addrs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PrefixTableLookup);
+
+void BM_FifoQueueOffer(benchmark::State& state) {
+  sim::QueueConfig cfg;
+  cfg.capacity_bytes = std::uint64_t{1} << 40;  // never drop
+  sim::FifoQueue queue(cfg);
+  net::Packet pkt;
+  pkt.size_bytes = 750;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    pkt.ts = timebase::TimePoint(t += 600);
+    benchmark::DoNotOptimize(queue.offer(pkt, pkt.ts));
+  }
+}
+BENCHMARK(BM_FifoQueueOffer);
+
+void BM_SyntheticGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::SyntheticConfig cfg;
+    cfg.duration = timebase::Duration::milliseconds(10);
+    cfg.offered_bps = 2.2e9;
+    cfg.seed = 7;
+    trace::SyntheticTraceGenerator gen(cfg);
+    std::uint64_t n = 0;
+    while (auto p = gen.next()) ++n;
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.items_processed() + static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_SyntheticGenerate);
+
+void BM_FlowmeterObserve(benchmark::State& state) {
+  trace::SyntheticConfig cfg;
+  cfg.duration = timebase::Duration::milliseconds(50);
+  cfg.offered_bps = 2.2e9;
+  cfg.seed = 8;
+  const auto packets = trace::SyntheticTraceGenerator(cfg).generate_all();
+  for (auto _ : state) {
+    trace::Flowmeter meter;
+    for (const auto& p : packets) meter.observe(p);
+    benchmark::DoNotOptimize(meter.active_flows());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(packets.size()));
+  }
+}
+BENCHMARK(BM_FlowmeterObserve);
+
+void BM_LdaRecord(benchmark::State& state) {
+  baseline::LdaSketch sketch(baseline::LdaConfig{});
+  common::Xoshiro256 rng(9);
+  net::Packet pkt;
+  pkt.key = random_key(rng);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    pkt.seq = seq++;
+    sketch.record(pkt, timebase::TimePoint(static_cast<std::int64_t>(seq)));
+  }
+}
+BENCHMARK(BM_LdaRecord);
+
+void BM_RliReceiverPacket(benchmark::State& state) {
+  timebase::PerfectClock clock;
+  rli::RliReceiver receiver(rli::ReceiverConfig{}, &clock);
+  common::Xoshiro256 rng(10);
+  std::vector<net::FiveTuple> keys;
+  for (int i = 0; i < 256; ++i) keys.push_back(random_key(rng));
+  std::int64_t t = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    t += 700;
+    if (n % 100 == 0) {
+      net::Packet ref = net::make_reference_packet(
+          1, timebase::TimePoint(t - 2000), timebase::TimePoint(t - 2000), n);
+      ref.ts = timebase::TimePoint(t);
+      receiver.on_packet(ref, ref.ts);
+    } else {
+      net::Packet pkt;
+      pkt.key = keys[n & 255];
+      pkt.ts = timebase::TimePoint(t);
+      pkt.injected_at = timebase::TimePoint(t - 2000);
+      receiver.on_packet(pkt, pkt.ts);
+    }
+    ++n;
+  }
+}
+BENCHMARK(BM_RliReceiverPacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

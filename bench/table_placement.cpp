@@ -1,0 +1,38 @@
+// Section 3.1 ("Partial Placement Complexity"): measurement-instance counts
+// for RLIR at its three deployment granularities versus full RLI deployment,
+// on k-ary fat-trees.
+//
+// Paper formulas: interface pair k+2; ToR pair k(k+2)/2; every ToR pair
+// (k/2)^2 (k+1); full deployment O(k^4).
+#include <cstdio>
+
+#include "topo/placement.h"
+
+int main() {
+  using namespace rlir::topo;
+
+  std::printf("# Section 3.1: RLIR deployment complexity (measurement instances)\n\n");
+  std::printf("%4s %16s %12s %15s %17s %10s\n", "k", "interface-pair", "tor-pair",
+              "all-tor-pairs", "full-deployment", "savings");
+
+  for (const int k : {4, 8, 16, 24, 48}) {
+    const PlacementRow row = placement_row(k);
+    std::printf("%4d %16llu %12llu %15llu %17llu %9.2f%%\n", row.k,
+                static_cast<unsigned long long>(row.interface_pair),
+                static_cast<unsigned long long>(row.tor_pair),
+                static_cast<unsigned long long>(row.all_tor_pairs),
+                static_cast<unsigned long long>(row.full_deployment),
+                100.0 * row.savings_ratio());
+  }
+
+  std::printf("\n# Example concrete plan (k=4, paper's Figure 1: S1 at T1, R3 at T7):\n");
+  const FatTree topo(4);
+  const auto plan = plan_interface_pair(topo, topo.tor(0, 0), topo.tor(3, 0));
+  std::printf("#   instances: %llu, hosted at:",
+              static_cast<unsigned long long>(plan.instance_count));
+  for (const auto& node : plan.instance_nodes) std::printf(" %s", node.name(4).c_str());
+  std::printf("\n#   segments:");
+  for (const auto& seg : plan.segments) std::printf(" %s", seg.c_str());
+  std::printf("\n");
+  return 0;
+}

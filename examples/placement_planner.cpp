@@ -1,0 +1,44 @@
+// Placement planner: answer an operator's question — "what does it cost to
+// get per-flow latency visibility between these ToRs, and where do the
+// instances go?" (paper Section 3.1).
+#include <cstdio>
+
+#include "topo/placement.h"
+
+int main() {
+  using namespace rlir::topo;
+
+  constexpr int kK = 8;
+  const FatTree topo(kK);
+
+  std::printf("fabric: k=%d fat-tree — %d ToR, %d edge, %d core switches, %d hosts\n\n",
+              kK, topo.tor_count(), topo.edge_count(), topo.core_count(),
+              topo.host_count());
+
+  std::printf("deployment cost by granularity (measurement instances):\n");
+  const auto row = placement_row(kK);
+  std::printf("  one ToR interface pair : %6llu\n",
+              static_cast<unsigned long long>(row.interface_pair));
+  std::printf("  one ToR switch pair    : %6llu\n",
+              static_cast<unsigned long long>(row.tor_pair));
+  std::printf("  every ToR switch pair  : %6llu\n",
+              static_cast<unsigned long long>(row.all_tor_pairs));
+  std::printf("  full RLI deployment    : %6llu (RLIR saves %.1f%%)\n\n",
+              static_cast<unsigned long long>(row.full_deployment),
+              100.0 * (1.0 - row.savings_ratio()));
+
+  // Concrete plan for a cross-pod ToR pair.
+  const auto src = topo.tor(0, 0);
+  const auto dst = topo.tor(kK - 1, 0);
+  const auto plan = plan_interface_pair(topo, src, dst);
+  std::printf("plan for %s -> %s (one interface pair):\n", src.name(kK).c_str(),
+              dst.name(kK).c_str());
+  std::printf("  instances: %llu at:", static_cast<unsigned long long>(plan.instance_count));
+  for (const auto& node : plan.instance_nodes) std::printf(" %s", node.name(kK).c_str());
+  std::printf("\n  measured segments:\n");
+  for (const auto& seg : plan.segments) std::printf("    %s\n", seg.c_str());
+
+  std::printf("\npath diversity this covers: %zu ECMP paths\n",
+              topo.paths_between(src, dst).size());
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "baseline/lda.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/hash.h"
+
+namespace rlir::baseline {
+
+LdaSketch::LdaSketch(LdaConfig config) : config_(config) {
+  if (config_.banks == 0 || config_.buckets_per_bank == 0) {
+    throw std::invalid_argument("LdaSketch: banks and buckets_per_bank must be positive");
+  }
+  if (config_.sample_base < 1.0) {
+    throw std::invalid_argument("LdaSketch: sample_base must be >= 1");
+  }
+  buckets_.assign(config_.banks * config_.buckets_per_bank, Bucket{});
+}
+
+void LdaSketch::record(const net::Packet& packet, timebase::TimePoint ts) {
+  ++recorded_;
+  // Both sides must make identical sampling and placement decisions for the
+  // same packet, using only invariant packet content — we hash the flow key
+  // and the packet's sequence number (standing in for the invariant bytes a
+  // hardware LDA hashes).
+  const std::uint64_t id = net::mix64(packet.key.hash() ^ net::mix64(packet.seq));
+
+  for (std::size_t bank = 0; bank < config_.banks; ++bank) {
+    // Sampling: bank b keeps a sample_base^-b fraction of packets, judged on
+    // a per-bank slice of the id hash mapped to [0,1). (A uint64 threshold
+    // comparison would overflow for the keep-everything bank.)
+    const std::uint64_t gate = net::mix64(id ^ (config_.seed + bank * 0x9e37u));
+    const double keep = std::pow(config_.sample_base, -static_cast<double>(bank));
+    const double unit = static_cast<double>(gate >> 11) * 0x1.0p-53;  // [0,1)
+    if (unit >= keep) continue;
+
+    const std::size_t index =
+        net::mix64(id ^ net::mix64(config_.seed ^ (bank + 1))) % config_.buckets_per_bank;
+    Bucket& b = buckets_[bank * config_.buckets_per_bank + index];
+    b.count += 1;
+    b.ts_sum_ns += ts.ns();
+  }
+}
+
+const LdaSketch::Bucket& LdaSketch::bucket(std::size_t bank, std::size_t index) const {
+  return buckets_.at(bank * config_.buckets_per_bank + index);
+}
+
+std::size_t LdaSketch::state_bytes() const {
+  return buckets_.size() * sizeof(Bucket);
+}
+
+std::optional<LdaEstimate> LdaEstimate::compute(const LdaSketch& sender,
+                                                const LdaSketch& receiver) {
+  const auto& cfg = sender.config_;
+  if (cfg.banks != receiver.config_.banks ||
+      cfg.buckets_per_bank != receiver.config_.buckets_per_bank ||
+      cfg.seed != receiver.config_.seed) {
+    throw std::invalid_argument("LdaEstimate: sketch configurations differ");
+  }
+
+  LdaEstimate est;
+  std::int64_t delay_sum = 0;
+  for (std::size_t i = 0; i < sender.buckets_.size(); ++i) {
+    const auto& s = sender.buckets_[i];
+    const auto& r = receiver.buckets_[i];
+    if (s.count == 0 && r.count == 0) continue;
+    if (s.count != r.count) {
+      ++est.unusable_buckets;
+      continue;
+    }
+    ++est.usable_buckets;
+    est.usable_packets += s.count;
+    delay_sum += r.ts_sum_ns - s.ts_sum_ns;
+  }
+  if (est.usable_packets == 0) return std::nullopt;
+  est.mean_delay_ns = static_cast<double>(delay_sum) / static_cast<double>(est.usable_packets);
+  est.coverage = sender.recorded_ == 0
+                     ? 0.0
+                     : static_cast<double>(est.usable_packets) /
+                           static_cast<double>(sender.recorded_);
+  return est;
+}
+
+LdaTap::LdaTap(LdaConfig config, const timebase::Clock* clock)
+    : sketch_(config), clock_(clock) {
+  if (clock_ == nullptr) throw std::invalid_argument("LdaTap: clock must not be null");
+}
+
+void LdaTap::on_packet(const net::Packet& packet, timebase::TimePoint arrival) {
+  if (packet.kind != net::PacketKind::kRegular) return;
+  sketch_.record(packet, clock_->now(arrival));
+}
+
+}  // namespace rlir::baseline

@@ -1,0 +1,91 @@
+// Lossy Difference Aggregator (LDA) — Kompella, Levchenko, Snoeren &
+// Varghese, SIGCOMM 2009 ("Every Microsecond Counts").
+//
+// The paper positions RLI/RLIR against LDA: LDA measures *aggregate* latency
+// between two points with tiny state and no probes, but cannot produce
+// per-flow statistics. We implement it as the comparison baseline.
+//
+// Mechanism: sender and receiver keep identical arrays of (packet count,
+// timestamp sum) buckets, organized in B banks with geometrically decreasing
+// sampling probabilities. Each packet is hashed to (at most) one bucket per
+// bank and adds its local timestamp. Buckets whose counts agree on both
+// sides ("usable") lost no packets; the timestamp-sum difference divided by
+// the count is the average delay of those packets. Banks with lower sampling
+// rates survive higher loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/tap.h"
+#include "timebase/clock.h"
+#include "timebase/time.h"
+
+namespace rlir::baseline {
+
+struct LdaConfig {
+  std::size_t banks = 4;
+  std::size_t buckets_per_bank = 1024;
+  /// Sampling probability of bank b is sample_base^-b (bank 0 keeps all).
+  double sample_base = 8.0;
+  std::uint64_t seed = 0x1dabeef;
+};
+
+/// One measurement-interval sketch at one observation point.
+class LdaSketch {
+ public:
+  explicit LdaSketch(LdaConfig config);
+
+  /// Records a packet observed at local time `ts` (as read from `clock`).
+  void record(const net::Packet& packet, timebase::TimePoint ts);
+
+  [[nodiscard]] const LdaConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t packets_recorded() const { return recorded_; }
+
+  struct Bucket {
+    std::uint64_t count = 0;
+    std::int64_t ts_sum_ns = 0;
+  };
+  [[nodiscard]] const Bucket& bucket(std::size_t bank, std::size_t index) const;
+
+  /// State size in bytes (the headline economy of LDA).
+  [[nodiscard]] std::size_t state_bytes() const;
+
+ private:
+  friend struct LdaEstimate;
+  LdaConfig config_;
+  std::vector<Bucket> buckets_;  // banks * buckets_per_bank, bank-major
+  std::uint64_t recorded_ = 0;
+};
+
+/// Aggregate estimate from a matched sender/receiver sketch pair.
+struct LdaEstimate {
+  double mean_delay_ns = 0.0;
+  std::uint64_t usable_packets = 0;   ///< packets in usable buckets
+  std::uint64_t usable_buckets = 0;
+  std::uint64_t unusable_buckets = 0; ///< count mismatch (loss detected)
+  /// Effective sample fraction: usable packets / packets sent.
+  double coverage = 0.0;
+
+  /// Computes the estimate; the sketches must share a configuration.
+  [[nodiscard]] static std::optional<LdaEstimate> compute(const LdaSketch& sender,
+                                                          const LdaSketch& receiver);
+};
+
+/// Tap adapter: an LDA observation point at a pipeline interface.
+class LdaTap final : public sim::PacketTap {
+ public:
+  LdaTap(LdaConfig config, const timebase::Clock* clock);
+
+  void on_packet(const net::Packet& packet, timebase::TimePoint arrival) override;
+
+  [[nodiscard]] const LdaSketch& sketch() const { return sketch_; }
+
+ private:
+  LdaSketch sketch_;
+  const timebase::Clock* clock_;
+};
+
+}  // namespace rlir::baseline

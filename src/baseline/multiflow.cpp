@@ -1,0 +1,53 @@
+#include "baseline/multiflow.h"
+
+#include <stdexcept>
+
+namespace rlir::baseline {
+
+NetflowTap::NetflowTap(trace::FlowmeterConfig config, const timebase::Clock* clock)
+    : meter_(config), clock_(clock) {
+  if (clock_ == nullptr) throw std::invalid_argument("NetflowTap: clock must not be null");
+  meter_.set_export_sink([this](const trace::FlowRecord& rec) {
+    // Keep the first export per flow key (NetFlow would emit several records
+    // for long flows; the two-sample estimator uses matching records, and
+    // first-export matching on both sides is consistent).
+    records_.try_emplace(rec.key, rec);
+  });
+}
+
+void NetflowTap::on_packet(const net::Packet& packet, timebase::TimePoint arrival) {
+  if (packet.kind != net::PacketKind::kRegular) return;
+  net::Packet stamped = packet;
+  stamped.ts = clock_->now(arrival);
+  meter_.observe(stamped);
+}
+
+const std::unordered_map<net::FiveTuple, trace::FlowRecord>& NetflowTap::records() {
+  if (!finalized_) {
+    meter_.flush();
+    finalized_ = true;
+  }
+  return records_;
+}
+
+MultiflowResult multiflow_estimate(
+    const std::unordered_map<net::FiveTuple, trace::FlowRecord>& sender_records,
+    const std::unordered_map<net::FiveTuple, trace::FlowRecord>& receiver_records) {
+  MultiflowResult result;
+  for (const auto& [key, send] : sender_records) {
+    const auto it = receiver_records.find(key);
+    if (it == receiver_records.end()) {
+      ++result.unmatched_flows;
+      continue;
+    }
+    const trace::FlowRecord& recv = it->second;
+    const double first_delta = static_cast<double>((recv.first_ts - send.first_ts).ns());
+    const double last_delta = static_cast<double>((recv.last_ts - send.last_ts).ns());
+    const double estimate = (first_delta + last_delta) / 2.0;
+    result.estimates[key].add(estimate);
+    ++result.matched_flows;
+  }
+  return result;
+}
+
+}  // namespace rlir::baseline

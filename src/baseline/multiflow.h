@@ -1,0 +1,62 @@
+// Multiflow estimator — Lee, Duffield & Kompella, INFOCOM 2010 ("Two
+// Samples are Enough: Opportunistic Flow-level Latency Estimation using
+// NetFlow").
+//
+// The related-work baseline the RLIR paper cites for crude per-flow latency:
+// NetFlow already stores two timestamps per flow (first and last packet).
+// With NetFlow running at both ends of a segment, a flow's delay can be
+// estimated from just those two samples:
+//
+//   delay ≈ ((first_recv - first_send) + (last_recv - last_send)) / 2
+//
+// It needs no probes and no per-packet state, but collapses the entire flow
+// to two samples — the accuracy gap to RLI/RLIR is the point of comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/flow_key.h"
+#include "net/packet.h"
+#include "rli/flow_stats.h"
+#include "sim/tap.h"
+#include "timebase/clock.h"
+#include "trace/flowmeter.h"
+
+namespace rlir::baseline {
+
+/// NetFlow-style observation point: runs a flowmeter over the packets
+/// crossing one interface, reading timestamps from the local clock.
+class NetflowTap final : public sim::PacketTap {
+ public:
+  NetflowTap(trace::FlowmeterConfig config, const timebase::Clock* clock);
+
+  void on_packet(const net::Packet& packet, timebase::TimePoint arrival) override;
+
+  /// Finalizes and returns per-flow first/last timestamp records.
+  [[nodiscard]] const std::unordered_map<net::FiveTuple, trace::FlowRecord>& records();
+
+ private:
+  trace::Flowmeter meter_;
+  const timebase::Clock* clock_;
+  std::unordered_map<net::FiveTuple, trace::FlowRecord> records_;
+  bool finalized_ = false;
+};
+
+/// Per-flow delay estimate from two NetFlow observation points.
+struct MultiflowResult {
+  /// Flow -> estimated mean delay (a single two-sample estimate per flow,
+  /// represented as a one-observation RunningStats for report compatibility).
+  rli::FlowStatsMap estimates;
+  std::uint64_t matched_flows = 0;
+  std::uint64_t unmatched_flows = 0;  ///< at sender but never at receiver
+};
+
+/// Joins sender- and receiver-side flow records and applies the two-sample
+/// estimator. Flows missing on either side are skipped (counted unmatched).
+[[nodiscard]] MultiflowResult multiflow_estimate(
+    const std::unordered_map<net::FiveTuple, trace::FlowRecord>& sender_records,
+    const std::unordered_map<net::FiveTuple, trace::FlowRecord>& receiver_records);
+
+}  // namespace rlir::baseline

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlir::common {
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets_per_decade)
+    : lo_(lo) {
+  if (lo <= 0.0 || hi <= lo || buckets_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi and buckets_per_decade > 0");
+  }
+  log_lo_ = std::log10(lo);
+  log_ratio_ = 1.0 / static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(hi) - log_lo_;
+  const auto n = static_cast<std::size_t>(std::ceil(decades / log_ratio_));
+  counts_.assign(n == 0 ? 1 : n, 0);
+}
+
+std::size_t LogHistogram::index_for(double value) const {
+  const double idx = (std::log10(value) - log_lo_) / log_ratio_;
+  return static_cast<std::size_t>(idx);
+}
+
+void LogHistogram::record(double value) { record(value, 1); }
+
+void LogHistogram::record(double value, std::uint64_t weight) {
+  total_ += weight;
+  if (!(value >= lo_)) {  // also catches NaN
+    underflow_ += weight;
+    return;
+  }
+  const std::size_t i = index_for(value);
+  if (i >= counts_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[i] += weight;
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) * log_ratio_);
+}
+
+double LogHistogram::bucket_mid(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + (static_cast<double>(i) + 0.5) * log_ratio_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = underflow_;
+  if (cum > target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) return bucket_mid(i);
+  }
+  return bucket_mid(counts_.size() - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  char buf[96];
+  if (underflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "  <%-12.4g %llu\n", lo_,
+                  static_cast<unsigned long long>(underflow_));
+    os << buf;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-13.4g %llu\n", bucket_mid(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    os << buf;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "  >=top        %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace rlir::common

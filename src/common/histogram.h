@@ -1,0 +1,51 @@
+// Logarithmically bucketed histogram for latency-like quantities that span
+// several orders of magnitude (ns .. ms). Constant memory, O(1) record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlir::common {
+
+/// Buckets are geometric: [lo * g^i, lo * g^(i+1)). Values below `lo` land in
+/// an underflow bucket, values at or above the top in an overflow bucket.
+class LogHistogram {
+ public:
+  /// `lo` — lower edge of the first regular bucket (must be > 0);
+  /// `hi` — upper edge of the last regular bucket (must be > lo);
+  /// `buckets_per_decade` — resolution (e.g. 10 → ~25% wide buckets).
+  LogHistogram(double lo, double hi, std::size_t buckets_per_decade);
+
+  void record(double value);
+  void record(double value, std::uint64_t weight);
+
+  [[nodiscard]] std::uint64_t total_count() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const { return counts_.at(i); }
+  /// Geometric midpoint of bucket i.
+  [[nodiscard]] double bucket_mid(std::size_t i) const;
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+
+  /// Quantile estimated from bucket midpoints; q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line "value count" text rendering of non-empty buckets.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t index_for(double value) const;
+
+  double lo_;
+  double log_lo_;
+  double log_ratio_;  // log of bucket growth factor
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rlir::common

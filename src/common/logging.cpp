@@ -1,0 +1,26 @@
+#include "common/logging.h"
+
+namespace rlir::common {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace rlir::common

@@ -1,0 +1,38 @@
+// Minimal leveled logging. Benches and examples print results to stdout;
+// diagnostics go through here to stderr so output stays machine-parseable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace rlir::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Not thread-safe by
+/// design — the simulator is single-threaded.
+LogLevel& log_threshold();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { detail::log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log(LogLevel::kError, args...); }
+
+}  // namespace rlir::common

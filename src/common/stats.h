@@ -1,0 +1,84 @@
+// Streaming and batch statistics used by both the measurement stack (per-flow
+// latency accumulation) and the evaluation harness (relative-error CDFs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rlir::common {
+
+/// Numerically stable streaming moments (Welford). Mergeable, so per-shard
+/// statistics can be combined.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 when fewer than 2 observations.
+  [[nodiscard]] double variance() const;
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Sample variance (divide by n-1); 0 when fewer than 2 observations.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a batch of samples. Construction sorts a copy; queries
+/// are O(log n).
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Quantile by linear interpolation between order statistics, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  /// Fraction of samples <= x.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting/printing.
+  struct Point {
+    double value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// |estimate - truth| / truth. Returns nullopt when truth is zero (the error
+/// is undefined; callers typically skip such flows, as the paper does for
+/// zero-latency flows).
+[[nodiscard]] std::optional<double> relative_error(double estimate, double truth);
+
+/// Renders a CDF as a fixed-width text table, one row per curve point —
+/// the form the bench harnesses print for each figure series.
+[[nodiscard]] std::string format_cdf_table(const Cdf& cdf, const std::string& label,
+                                           std::size_t points = 20);
+
+}  // namespace rlir::common

@@ -1,0 +1,14 @@
+#include "net/flow_key.h"
+
+#include <cstdio>
+
+namespace rlir::net {
+
+std::string FiveTuple::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u>%s:%u/%u", src.to_string().c_str(), src_port,
+                dst.to_string().c_str(), dst_port, proto);
+  return buf;
+}
+
+}  // namespace rlir::net

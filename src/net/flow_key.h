@@ -1,0 +1,50 @@
+// The 5-tuple flow key: the unit at which RLI/RLIR report latency statistics
+// ("per-flow measurements" throughout the paper).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/hash.h"
+#include "net/ipv4.h"
+
+namespace rlir::net {
+
+/// IP protocol numbers we care about; stored as the raw wire value so
+/// arbitrary protocols survive round-trips.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Canonical 5-tuple. Plain aggregate by design — flows keys are copied by
+/// the million in flow tables and trace records.
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Stable 64-bit hash (mixes all five fields).
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = (std::uint64_t{src.value()} << 32) | dst.value();
+    h = mix64(h);
+    h ^= mix64((std::uint64_t{src_port} << 32) | (std::uint64_t{dst_port} << 8) | proto);
+    return mix64(h);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace rlir::net
+
+template <>
+struct std::hash<rlir::net::FiveTuple> {
+  std::size_t operator()(const rlir::net::FiveTuple& k) const noexcept { return k.hash(); }
+};

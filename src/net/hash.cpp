@@ -1,0 +1,105 @@
+#include "net/hash.h"
+
+#include <array>
+#include <cstring>
+
+namespace rlir::net {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::uint32_t rot(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+// lookup3 mixing steps (Jenkins, public domain).
+void lookup3_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  a -= c; a ^= rot(c, 4);  c += b;
+  b -= a; b ^= rot(a, 6);  a += c;
+  c -= b; c ^= rot(b, 8);  b += a;
+  a -= c; a ^= rot(c, 16); c += b;
+  b -= a; b ^= rot(a, 19); a += c;
+  c -= b; c ^= rot(b, 4);  b += a;
+}
+
+void lookup3_final(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  c ^= b; c -= rot(b, 14);
+  a ^= c; a -= rot(c, 11);
+  b ^= a; b -= rot(a, 25);
+  c ^= b; c -= rot(b, 16);
+  a ^= c; a -= rot(c, 4);
+  b ^= a; b -= rot(a, 14);
+  c ^= b; c -= rot(b, 24);
+}
+
+std::uint32_t load_le32(const std::byte* p, std::size_t n) {
+  std::uint32_t v = 0;
+  unsigned char raw[4] = {0, 0, 0, 0};
+  std::memcpy(raw, p, n);
+  v = std::uint32_t{raw[0]} | (std::uint32_t{raw[1]} << 8) | (std::uint32_t{raw[2]} << 16) |
+      (std::uint32_t{raw[3]} << 24);
+  return v;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t poly = 0x82f63b78u;  // reflected CRC-32C polynomial
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t jenkins_lookup3(std::span<const std::byte> data, std::uint32_t seed) {
+  std::uint32_t a = 0xdeadbeef + static_cast<std::uint32_t>(data.size()) + seed;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  const std::byte* p = data.data();
+  std::size_t len = data.size();
+  while (len > 12) {
+    a += load_le32(p, 4);
+    b += load_le32(p + 4, 4);
+    c += load_le32(p + 8, 4);
+    lookup3_mix(a, b, c);
+    p += 12;
+    len -= 12;
+  }
+  if (len == 0) return c;
+  if (len > 8) {
+    a += load_le32(p, 4);
+    b += load_le32(p + 4, 4);
+    c += load_le32(p + 8, len - 8);
+  } else if (len > 4) {
+    a += load_le32(p, 4);
+    b += load_le32(p + 4, len - 4);
+  } else {
+    a += load_le32(p, len);
+  }
+  lookup3_final(a, b, c);
+  return c;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace rlir::net

@@ -1,0 +1,71 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rlir::net {
+
+namespace {
+
+// Parses one decimal octet from `text` starting at `pos`; advances pos.
+std::optional<std::uint8_t> parse_octet(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size()) return std::nullopt;
+  unsigned value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t addr = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto octet = parse_octet(text, pos);
+    if (!octet) return std::nullopt;
+    addr = (addr << 8) | *octet;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Address(addr);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+Ipv4Address Ipv4Prefix::address_at(std::uint64_t i) const {
+  if (i >= size()) {
+    throw std::out_of_range("Ipv4Prefix::address_at: index outside prefix");
+  }
+  return Ipv4Address(base_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  const char* begin = text.data() + slash + 1;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, len);
+  if (ec != std::errc{} || ptr != end || len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace rlir::net

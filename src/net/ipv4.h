@@ -1,0 +1,86 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// RLIR's upstream demultiplexing relies on the data-center convention that
+// each ToR switch owns a contiguous address block for its hosts, so receivers
+// can attribute a regular packet to its origin ToR by longest-prefix match
+// (paper Section 3.1, "Upstream").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rlir::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+              std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(addr_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad notation ("10.1.2.3"); nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// A CIDR prefix: base address plus mask length (0..32).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// The base is canonicalized (host bits cleared).
+  constexpr Ipv4Prefix(Ipv4Address base, std::uint8_t length)
+      : base_(Ipv4Address(base.value() & mask_for(length))), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Address base() const { return base_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const { return mask_for(length_); }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == base_.value();
+  }
+  /// True when `other` is fully inside this prefix.
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (2^(32-length)).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix; i must be < size().
+  [[nodiscard]] Ipv4Address address_at(std::uint64_t i) const;
+
+  /// Parses "10.0.0.0/24"; nullopt on malformed input or length > 32.
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(std::uint8_t len) {
+    return len == 0 ? 0u : (len >= 32 ? ~0u : ~((std::uint32_t{1} << (32 - len)) - 1));
+  }
+
+  Ipv4Address base_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace rlir::net

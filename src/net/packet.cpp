@@ -1,0 +1,31 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace rlir::net {
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << "[" << net::to_string(kind) << " seq=" << seq << " " << key.to_string() << " "
+     << size_bytes << "B ts=" << ts.to_string();
+  if (kind == PacketKind::kReference) {
+    os << " sender=" << sender << " stamp=" << ref_stamp.to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+Packet make_reference_packet(SenderId id, timebase::TimePoint now, timebase::TimePoint stamp,
+                             std::uint64_t seq, std::uint32_t size_bytes) {
+  Packet p;
+  p.ts = now;
+  p.injected_at = now;
+  p.ref_stamp = stamp;
+  p.size_bytes = size_bytes;
+  p.kind = PacketKind::kReference;
+  p.sender = id;
+  p.seq = seq;
+  return p;
+}
+
+}  // namespace rlir::net

@@ -1,0 +1,92 @@
+// The packet record that flows through the simulator and the measurement
+// stack.
+//
+// This is a metadata record, not a byte buffer: the simulator is
+// trace-driven (paper Section 4.1), so only header-derived fields and sizes
+// matter. Reference packets (RLI's probe packets) are ordinary records with
+// kind == kReference plus the sender-stamped timestamp they carry on the
+// wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/flow_key.h"
+#include "timebase/time.h"
+
+namespace rlir::net {
+
+/// Role of a packet in an experiment.
+enum class PacketKind : std::uint8_t {
+  kRegular,    ///< measured traffic traversing the full instrumented segment
+  kCross,      ///< cross traffic sharing only part of the path
+  kReference,  ///< RLI reference (probe) packet carrying a timestamp
+};
+
+[[nodiscard]] constexpr const char* to_string(PacketKind k) {
+  switch (k) {
+    case PacketKind::kRegular: return "regular";
+    case PacketKind::kCross: return "cross";
+    case PacketKind::kReference: return "reference";
+  }
+  return "?";
+}
+
+/// Identifier of an RLI sender instance (paper: "RLI sender ID (or IP address
+/// of the interface which S1 [is] sitting on)").
+using SenderId = std::uint16_t;
+inline constexpr SenderId kNoSender = 0xffff;
+
+/// Value of the ToS/DSCP mark used by the packet-marking demultiplexer;
+/// 0 means unmarked.
+using TosMark = std::uint8_t;
+
+struct Packet {
+  /// Current position of the packet on the time axis: mutated by each queue
+  /// to the instant the packet leaves that queue; at a receiver tap it is the
+  /// arrival instant.
+  timebase::TimePoint ts;
+
+  /// True instant the packet entered the measured segment. The simulator's
+  /// ground-truth one-way delay is `ts - injected_at`; the measurement stack
+  /// never reads this field for regular packets (that would be cheating) —
+  /// only the evaluation harness does.
+  timebase::TimePoint injected_at;
+
+  /// Timestamp written by the RLI sender's clock into a reference packet.
+  /// Meaningful only when kind == kReference. Differs from `injected_at`
+  /// when the sender clock has offset/drift.
+  timebase::TimePoint ref_stamp;
+
+  FiveTuple key;
+  std::uint32_t size_bytes = 0;
+  PacketKind kind = PacketKind::kRegular;
+
+  /// Originating RLI sender; set on reference packets at injection, and
+  /// assigned to regular packets by a demultiplexer at the receiver.
+  SenderId sender = kNoSender;
+
+  /// ToS mark stamped by an intermediate (core) router when the marking
+  /// demux strategy is active.
+  TosMark tos = 0;
+
+  /// Globally unique sequence number (assigned by generators); gives packets
+  /// identity for loss accounting and deterministic tie-breaking.
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] bool is_reference() const { return kind == PacketKind::kReference; }
+
+  /// Ground-truth one-way delay accumulated so far.
+  [[nodiscard]] timebase::Duration true_delay() const { return ts - injected_at; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds a reference packet as injected by sender `id` at true time `now`
+/// with the (possibly skewed) clock reading `stamp`. Reference packets are
+/// minimum-size (paper's probes carry only a timestamp).
+[[nodiscard]] Packet make_reference_packet(SenderId id, timebase::TimePoint now,
+                                           timebase::TimePoint stamp, std::uint64_t seq,
+                                           std::uint32_t size_bytes = 64);
+
+}  // namespace rlir::net

@@ -1,0 +1,85 @@
+// Longest-prefix-match table over IPv4 prefixes.
+//
+// Implemented as an uncompressed binary trie with nodes in a flat vector —
+// bounded at 32 steps per lookup, no recursion, cache-friendly enough for the
+// table sizes a demultiplexer needs (one entry per ToR block).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rlir::net {
+
+template <typename T>
+class PrefixTable {
+ public:
+  PrefixTable() { nodes_.emplace_back(); }
+
+  /// Inserts or overwrites the value for a prefix.
+  void insert(const Ipv4Prefix& prefix, T value) {
+    std::size_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.base().value() >> (31 - depth)) & 1;
+      if (nodes_[node].child[bit] < 0) {
+        const auto next = static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();  // may reallocate; re-index below
+        nodes_[node].child[bit] = next;
+      }
+      node = static_cast<std::size_t>(nodes_[node].child[bit]);
+    }
+    if (!nodes_[node].value.has_value()) ++entries_;
+    nodes_[node].value = std::move(value);
+  }
+
+  /// Longest-prefix match; nullopt when no inserted prefix covers `addr`.
+  [[nodiscard]] std::optional<T> lookup(Ipv4Address addr) const {
+    const T* p = lookup_ptr(addr);
+    if (p == nullptr) return std::nullopt;
+    return *p;
+  }
+
+  /// Pointer form of lookup (no copy); nullptr when there is no match.
+  /// The pointer is invalidated by the next insert.
+  [[nodiscard]] const T* lookup_ptr(Ipv4Address addr) const {
+    const T* best = nodes_[0].value ? &*nodes_[0].value : nullptr;
+    std::size_t node = 0;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      const std::int32_t child = nodes_[node].child[bit];
+      if (child < 0) break;
+      node = static_cast<std::size_t>(child);
+      if (nodes_[node].value) best = &*nodes_[node].value;
+    }
+    return best;
+  }
+
+  /// Exact-match retrieval of a previously inserted prefix.
+  [[nodiscard]] std::optional<T> find_exact(const Ipv4Prefix& prefix) const {
+    std::size_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.base().value() >> (31 - depth)) & 1;
+      const std::int32_t child = nodes_[node].child[bit];
+      if (child < 0) return std::nullopt;
+      node = static_cast<std::size_t>(child);
+    }
+    return nodes_[node].value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_ == 0; }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::optional<T> value;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace rlir::net

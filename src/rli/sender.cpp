@@ -1,0 +1,73 @@
+#include "rli/sender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlir::rli {
+
+RliSender::RliSender(SenderConfig config, const timebase::Clock* clock)
+    : config_(config), clock_(clock) {
+  if (clock_ == nullptr) throw std::invalid_argument("RliSender: clock must not be null");
+  if (config_.static_gap == 0) throw std::invalid_argument("RliSender: static_gap must be > 0");
+  if (config_.adaptive_min_gap == 0 || config_.adaptive_max_gap < config_.adaptive_min_gap) {
+    throw std::invalid_argument("RliSender: need 0 < adaptive_min_gap <= adaptive_max_gap");
+  }
+  if (config_.util_window <= timebase::Duration::zero()) {
+    throw std::invalid_argument("RliSender: util_window must be positive");
+  }
+}
+
+void RliSender::update_utilization(const net::Packet& packet) {
+  // Tumbling windows: close every window that ended before this packet so a
+  // quiet link decays the estimate instead of freezing it.
+  while (packet.ts - window_start_ >= config_.util_window) {
+    const double window_sec = config_.util_window.sec();
+    const double util =
+        static_cast<double>(window_bytes_) * 8.0 / (config_.link_bps * window_sec);
+    if (!util_seeded_) {
+      util_ewma_ = util;
+      util_seeded_ = true;
+    } else {
+      util_ewma_ = config_.util_ewma_alpha * util + (1.0 - config_.util_ewma_alpha) * util_ewma_;
+    }
+    window_start_ += config_.util_window;
+    window_bytes_ = 0;
+  }
+  window_bytes_ += packet.size_bytes;
+}
+
+std::uint32_t RliSender::adaptive_gap() const {
+  const double u = std::clamp(util_ewma_, 0.0, 1.0);
+  if (u <= config_.util_low) return config_.adaptive_min_gap;
+  const double span = 1.0 - config_.util_low;
+  const double x = span > 0.0 ? (u - config_.util_low) / span : 1.0;
+  const double frac = std::pow(x, config_.adapt_exponent);
+  const double gap = config_.adaptive_min_gap +
+                     frac * static_cast<double>(config_.adaptive_max_gap -
+                                                config_.adaptive_min_gap);
+  return static_cast<std::uint32_t>(std::lround(gap));
+}
+
+std::uint32_t RliSender::current_gap() const {
+  return config_.scheme == InjectionScheme::kStatic ? config_.static_gap : adaptive_gap();
+}
+
+std::optional<net::Packet> RliSender::on_regular_packet(const net::Packet& packet) {
+  update_utilization(packet);
+  ++regular_seen_;
+  ++since_last_ref_;
+
+  if (since_last_ref_ < current_gap()) return std::nullopt;
+  since_last_ref_ = 0;
+  ++refs_injected_;
+
+  // The probe is enqueued directly behind the triggering packet: same wire
+  // arrival instant, FIFO order preserved by the caller.
+  const timebase::TimePoint now = packet.ts;
+  const timebase::TimePoint stamp = clock_->now(now);
+  return net::make_reference_packet(config_.id, now, stamp, next_ref_seq_++,
+                                    config_.ref_packet_bytes);
+}
+
+}  // namespace rlir::rli

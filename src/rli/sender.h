@@ -1,0 +1,95 @@
+// RLI sender: injects timestamped reference packets into the regular packet
+// stream (paper Section 2).
+//
+// Two injection schemes (Section 3.2 / 4.1):
+//   * static "1-and-n": one reference packet after every n regular packets.
+//     RLIR's worst-case fallback uses n = 100 — "the lowest possible rate
+//     required for reasonable accuracy" when downstream utilization is
+//     unknown;
+//   * adaptive: n follows the utilization of the *sender's own* link, varying
+//     between 1-and-10 (low utilization) and 1-and-300 (high utilization).
+//     Across routers this mis-adapts — the sender cannot see downstream cross
+//     traffic — which is exactly the effect Figures 4 and 5 quantify.
+//
+// The exact utilization→gap map is not printed in the RLIR text; we use a
+// monotone curve that reproduces the reported behaviour ("about 22% link
+// utilization ... always triggers the highest injection rate (1-and-10)"):
+// gap = min_gap below `util_low`, rising polynomially to max_gap at u = 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/injector.h"
+#include "timebase/clock.h"
+#include "timebase/time.h"
+
+namespace rlir::rli {
+
+enum class InjectionScheme : std::uint8_t { kStatic, kAdaptive };
+
+struct SenderConfig {
+  InjectionScheme scheme = InjectionScheme::kStatic;
+
+  /// Static scheme: the n of 1-and-n (RLIR worst-case default: 100).
+  std::uint32_t static_gap = 100;
+
+  /// Adaptive scheme bounds (RLI defaults quoted by the paper).
+  std::uint32_t adaptive_min_gap = 10;   // highest injection rate
+  std::uint32_t adaptive_max_gap = 300;  // lowest injection rate
+
+  /// Utilization at or below which the adaptive scheme stays at min_gap.
+  double util_low = 0.3;
+  /// Shape of the gap curve above util_low (>= 1; higher = later ramp-up).
+  double adapt_exponent = 2.0;
+
+  /// Link rate of the interface the sender monitors for utilization.
+  double link_bps = 10e9;
+  /// Utilization measurement window; per-window samples are EWMA-smoothed.
+  timebase::Duration util_window = timebase::Duration::milliseconds(10);
+  double util_ewma_alpha = 0.5;
+
+  net::SenderId id = 1;
+  std::uint32_t ref_packet_bytes = 64;
+};
+
+class RliSender final : public sim::ReferenceInjector {
+ public:
+  /// `clock` supplies the timestamps written into reference packets; it is
+  /// borrowed and must outlive the sender.
+  RliSender(SenderConfig config, const timebase::Clock* clock);
+
+  /// Observes one regular packet at the sender's interface (time order).
+  /// Returns the reference packet to enqueue directly behind it, if due.
+  [[nodiscard]] std::optional<net::Packet> on_regular_packet(
+      const net::Packet& packet) override;
+
+  /// Current 1-and-n gap (static value, or the adaptive scheme's latest).
+  [[nodiscard]] std::uint32_t current_gap() const;
+  /// EWMA-smoothed utilization estimate of the sender's own link.
+  [[nodiscard]] double estimated_utilization() const { return util_ewma_; }
+  [[nodiscard]] std::uint64_t references_injected() const { return refs_injected_; }
+  [[nodiscard]] std::uint64_t regular_observed() const { return regular_seen_; }
+  [[nodiscard]] const SenderConfig& config() const { return config_; }
+
+ private:
+  void update_utilization(const net::Packet& packet);
+  [[nodiscard]] std::uint32_t adaptive_gap() const;
+
+  SenderConfig config_;
+  const timebase::Clock* clock_;
+
+  std::uint32_t since_last_ref_ = 0;
+  std::uint64_t refs_injected_ = 0;
+  std::uint64_t regular_seen_ = 0;
+  std::uint64_t next_ref_seq_ = 0;
+
+  // Utilization estimator state.
+  timebase::TimePoint window_start_ = timebase::TimePoint::zero();
+  std::uint64_t window_bytes_ = 0;
+  double util_ewma_ = 0.0;
+  bool util_seeded_ = false;
+};
+
+}  // namespace rlir::rli

@@ -1,0 +1,60 @@
+#include "rlir/localization.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace rlir::rlir {
+
+void AnomalyLocalizer::add_segment(std::string name,
+                                   const rli::FlowStatsMap& per_flow_estimates) {
+  std::vector<double> flow_means;
+  flow_means.reserve(per_flow_estimates.size());
+  common::RunningStats all;
+  for (const auto& [key, stats] : per_flow_estimates) {
+    if (stats.empty()) continue;
+    flow_means.push_back(stats.mean());
+    all.add(stats.mean());
+  }
+
+  SegmentReport report;
+  report.name = std::move(name);
+  report.flows = flow_means.size();
+  if (!flow_means.empty()) {
+    const common::Cdf cdf(std::move(flow_means));
+    report.median_flow_delay_ns = cdf.median();
+    report.p90_flow_delay_ns = cdf.quantile(0.9);
+    report.mean_flow_delay_ns = all.mean();
+  }
+  segments_.push_back(std::move(report));
+}
+
+double AnomalyLocalizer::baseline_ns() const {
+  std::vector<double> medians;
+  medians.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    if (s.flows > 0) medians.push_back(s.median_flow_delay_ns);
+  }
+  if (medians.empty()) return 0.0;
+  return common::Cdf(std::move(medians)).median();
+}
+
+std::vector<LocalizationFinding> AnomalyLocalizer::localize(double threshold_factor) const {
+  std::vector<LocalizationFinding> findings;
+  const double baseline = baseline_ns();
+  findings.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    LocalizationFinding f;
+    f.segment = s.name;
+    f.score = baseline > 0.0 ? s.median_flow_delay_ns / baseline : 0.0;
+    f.anomalous = s.flows > 0 && f.score >= threshold_factor;
+    findings.push_back(std::move(f));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LocalizationFinding& a, const LocalizationFinding& b) {
+              return a.score > b.score;
+            });
+  return findings;
+}
+
+}  // namespace rlir::rlir

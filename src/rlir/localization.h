@@ -1,0 +1,56 @@
+// Latency-anomaly localization over RLIR segments.
+//
+// The operational goal of the whole architecture: "detecting and localizing
+// latency anomalies of all flows traversing paths between a pair of
+// interfaces" with per-segment granularity (T1-C1, C1-T7, ...). Each RLIR
+// receiver yields per-flow latency statistics for its segment; the localizer
+// compares segments against each other and flags the ones whose delay
+// distribution is anomalously high — the switch/router group the operator
+// should investigate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rli/flow_stats.h"
+
+namespace rlir::rlir {
+
+/// Summary of one instrumented segment.
+struct SegmentReport {
+  std::string name;
+  std::size_t flows = 0;
+  double median_flow_delay_ns = 0.0;  ///< median over per-flow mean delays
+  double mean_flow_delay_ns = 0.0;
+  double p90_flow_delay_ns = 0.0;
+};
+
+struct LocalizationFinding {
+  std::string segment;
+  /// Segment median / cross-segment baseline median.
+  double score = 0.0;
+  bool anomalous = false;
+};
+
+class AnomalyLocalizer {
+ public:
+  /// Registers a segment's per-flow delay estimates (from an RLIR receiver
+  /// stream or a merged estimate map).
+  void add_segment(std::string name, const rli::FlowStatsMap& per_flow_estimates);
+
+  /// Flags segments whose median per-flow delay exceeds `threshold_factor`
+  /// times the baseline (median of all segment medians). With >= 2 healthy
+  /// segments the baseline is robust to a single anomaly.
+  [[nodiscard]] std::vector<LocalizationFinding> localize(
+      double threshold_factor = 3.0) const;
+
+  [[nodiscard]] const std::vector<SegmentReport>& segments() const { return segments_; }
+  /// Baseline (median of segment medians); 0 if no segments.
+  [[nodiscard]] double baseline_ns() const;
+
+ private:
+  std::vector<SegmentReport> segments_;
+};
+
+}  // namespace rlir::rlir

@@ -1,0 +1,60 @@
+#include "rlir/receiver.h"
+
+#include <stdexcept>
+
+namespace rlir::rlir {
+
+RlirReceiver::RlirReceiver(rli::ReceiverConfig per_sender_config, const timebase::Clock* clock,
+                           const Demultiplexer* demux)
+    : per_sender_config_(per_sender_config), clock_(clock), demux_(demux) {
+  if (clock_ == nullptr || demux_ == nullptr) {
+    throw std::invalid_argument("RlirReceiver: clock and demux must not be null");
+  }
+}
+
+rli::RliReceiver& RlirReceiver::stream_for(net::SenderId sender) {
+  auto it = streams_.find(sender);
+  if (it == streams_.end()) {
+    auto receiver = std::make_unique<rli::RliReceiver>(per_sender_config_, clock_);
+    // Stream membership is decided by this RlirReceiver's demux; the inner
+    // receivers must accept whatever is routed to them.
+    receiver->set_filter([](const net::Packet&) { return true; });
+    it = streams_.emplace(sender, std::move(receiver)).first;
+  }
+  return *it->second;
+}
+
+void RlirReceiver::on_packet(const net::Packet& packet, timebase::TimePoint arrival) {
+  if (packet.is_reference()) {
+    // "The RLI receiver can identify reference packets' origin easily via an
+    // RLI sender ID."
+    stream_for(packet.sender).on_packet(packet, arrival);
+    return;
+  }
+  if (packet.kind != net::PacketKind::kRegular) return;
+
+  const auto sender = demux_->classify(packet);
+  if (!sender) {
+    ++unclassified_;
+    return;
+  }
+  ++classified_;
+  stream_for(*sender).on_packet(packet, arrival);
+}
+
+const rli::RliReceiver* RlirReceiver::stream(net::SenderId sender) const {
+  const auto it = streams_.find(sender);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+rli::FlowStatsMap RlirReceiver::merged_estimates() const {
+  rli::FlowStatsMap merged;
+  for (const auto& [sender, receiver] : streams_) {
+    for (const auto& [key, stats] : receiver->per_flow()) {
+      merged[key].merge(stats);
+    }
+  }
+  return merged;
+}
+
+}  // namespace rlir::rlir

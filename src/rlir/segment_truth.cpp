@@ -1,0 +1,30 @@
+#include "rlir/segment_truth.h"
+
+namespace rlir::rlir {
+
+SegmentTruth::SegmentTruth()
+    : filter_([](const net::Packet& p) { return p.kind == net::PacketKind::kRegular; }) {}
+
+SegmentTruth::SegmentTruth(Filter filter) : filter_(std::move(filter)) {}
+
+void SegmentTruth::EntryTap::on_packet(const net::Packet& packet,
+                                       timebase::TimePoint arrival) {
+  if (!owner_->filter_(packet)) return;
+  owner_->entries_[packet.seq] = arrival;
+}
+
+void SegmentTruth::ExitTap::on_packet(const net::Packet& packet,
+                                      timebase::TimePoint arrival) {
+  if (!owner_->filter_(packet)) return;
+  const auto it = owner_->entries_.find(packet.seq);
+  if (it == owner_->entries_.end()) {
+    ++owner_->unmatched_exits_;
+    return;
+  }
+  const timebase::Duration delay = arrival - it->second;
+  owner_->entries_.erase(it);
+  owner_->per_flow_[packet.key].add(static_cast<double>(delay.ns()));
+  ++owner_->matched_;
+}
+
+}  // namespace rlir::rlir

@@ -1,0 +1,69 @@
+#include "rlir/sender_agent.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlir::rlir {
+
+TorSenderAgent::TorSenderAgent(rli::SenderConfig config, const timebase::Clock* clock,
+                               std::vector<topo::NodeId> core_targets)
+    : sender_(config, clock), targets_(std::move(core_targets)) {
+  for (const auto& t : targets_) {
+    if (t.tier != topo::Tier::kCore) {
+      throw std::invalid_argument("TorSenderAgent: targets must be core switches");
+    }
+  }
+}
+
+void TorSenderAgent::on_arrival(const net::Packet& packet, topo::NodeId node,
+                                topo::FatTreeSim& sim) {
+  if (packet.kind != net::PacketKind::kRegular) return;
+  // Only traffic leaving the ToR crosses this sender's uplink interface.
+  const auto dst_tor = sim.topology().tor_for_address(packet.key.dst);
+  if (dst_tor && *dst_tor == node) return;
+
+  const auto probe = sender_.on_regular_packet(packet);
+  if (!probe) return;
+
+  // One probe per receiver: each pinned ToR->core path gets its own anchor.
+  for (const auto& target : targets_) {
+    net::Packet ref = *probe;
+    ref.seq = sim.allocate_ref_seq();
+    sim.inject_reference(ref, node, target);
+    ++probes_sent_;
+  }
+}
+
+CoreSenderAgent::CoreSenderAgent(rli::SenderConfig config, const timebase::Clock* clock,
+                                 std::vector<topo::NodeId> tor_targets)
+    : config_(config), clock_(clock), targets_(std::move(tor_targets)) {
+  if (clock_ == nullptr) throw std::invalid_argument("CoreSenderAgent: clock must not be null");
+  for (const auto& t : targets_) {
+    if (t.tier != topo::Tier::kTor) {
+      throw std::invalid_argument("CoreSenderAgent: targets must be ToR switches");
+    }
+  }
+}
+
+void CoreSenderAgent::on_arrival(const net::Packet& packet, topo::NodeId node,
+                                 topo::FatTreeSim& sim) {
+  if (packet.kind != net::PacketKind::kRegular) return;
+  const auto dst_tor = sim.topology().tor_for_address(packet.key.dst);
+  if (!dst_tor) return;
+  if (std::find(targets_.begin(), targets_.end(), *dst_tor) == targets_.end()) return;
+
+  const std::size_t key = sim.topology().flat_index(*dst_tor);
+  auto it = per_target_.find(key);
+  if (it == per_target_.end()) {
+    it = per_target_.emplace(key, std::make_unique<rli::RliSender>(config_, clock_)).first;
+  }
+  const auto probe = it->second->on_regular_packet(packet);
+  if (!probe) return;
+
+  net::Packet ref = *probe;
+  ref.seq = sim.allocate_ref_seq();
+  sim.inject_reference(ref, node, *dst_tor);
+  ++probes_sent_;
+}
+
+}  // namespace rlir::rlir

@@ -1,0 +1,69 @@
+// RLIR sender instances for the fat-tree fabric.
+//
+// "each sender sends reference packets to all intermediate receivers through
+// which its packets may cross. For example, S1 must send reference packets
+// to both R1 and R2." (Section 3.1)
+//
+// Two placements, matching the paper's Figure 1:
+//   * TorSenderAgent  — at a ToR uplink (S1/S2): counts regular packets
+//     leaving the ToR and injects probes to every core hosting a receiver;
+//   * CoreSenderAgent — at a core switch (S3/S4): re-anchors the downstream
+//     segment by counting transit packets per destination ToR and injecting
+//     probes down to the receivers there.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "rli/sender.h"
+#include "timebase/clock.h"
+#include "topo/fattree_sim.h"
+
+namespace rlir::rlir {
+
+class TorSenderAgent final : public topo::NodeAgent {
+ public:
+  /// `clock` is the sender-side clock used to stamp probes (borrowed).
+  /// `core_targets` are the cores hosting receivers for this sender's
+  /// upstream segments.
+  TorSenderAgent(rli::SenderConfig config, const timebase::Clock* clock,
+                 std::vector<topo::NodeId> core_targets);
+
+  void on_arrival(const net::Packet& packet, topo::NodeId node,
+                  topo::FatTreeSim& sim) override;
+
+  [[nodiscard]] const rli::RliSender& sender() const { return sender_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  rli::RliSender sender_;
+  std::vector<topo::NodeId> targets_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+class CoreSenderAgent final : public topo::NodeAgent {
+ public:
+  /// `tor_targets` are the destination ToRs hosting receivers downstream of
+  /// this core. Packet counting (and hence probe pacing) is independent per
+  /// target, so each receiver's anchor density follows its own traffic.
+  CoreSenderAgent(rli::SenderConfig config, const timebase::Clock* clock,
+                  std::vector<topo::NodeId> tor_targets);
+
+  void on_arrival(const net::Packet& packet, topo::NodeId node,
+                  topo::FatTreeSim& sim) override;
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] net::SenderId id() const { return config_.id; }
+
+ private:
+  rli::SenderConfig config_;
+  const timebase::Clock* clock_;
+  std::vector<topo::NodeId> targets_;
+  /// Independent pacing state per destination ToR (keyed by flat index).
+  std::map<std::size_t, std::unique_ptr<rli::RliSender>> per_target_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace rlir::rlir

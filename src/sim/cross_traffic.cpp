@@ -1,0 +1,52 @@
+#include "sim/cross_traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlir::sim {
+
+CrossTrafficInjector::CrossTrafficInjector(CrossTrafficConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.selection_probability < 0.0 || config_.selection_probability > 1.0) {
+    throw std::invalid_argument("CrossTrafficInjector: selection probability outside [0,1]");
+  }
+  if (config_.model == CrossModel::kBursty && config_.burst_on <= timebase::Duration::zero()) {
+    throw std::invalid_argument("CrossTrafficInjector: bursty model needs positive ON window");
+  }
+}
+
+bool CrossTrafficInjector::in_burst(timebase::TimePoint ts) const {
+  const std::int64_t period = (config_.burst_on + config_.burst_off).ns();
+  if (period <= 0) return true;
+  const std::int64_t phase = ts.ns() % period;
+  return phase < config_.burst_on.ns();
+}
+
+bool CrossTrafficInjector::admit(const net::Packet& packet) {
+  ++offered_;
+  if (config_.model == CrossModel::kBursty && !in_burst(packet.ts)) return false;
+  if (!rng_.bernoulli(config_.selection_probability)) return false;
+  ++admitted_;
+  admitted_bytes_ += packet.size_bytes;
+  return true;
+}
+
+double CrossTrafficInjector::duty_cycle() const {
+  if (config_.model == CrossModel::kUniform) return 1.0;
+  const double on = static_cast<double>(config_.burst_on.ns());
+  const double off = static_cast<double>(config_.burst_off.ns());
+  return on / (on + off);
+}
+
+double selection_for_utilization(double target_utilization, double link_bps,
+                                 timebase::Duration duration, std::uint64_t regular_bytes,
+                                 std::uint64_t cross_bytes) {
+  if (cross_bytes == 0) return 0.0;
+  const double capacity_bits = link_bps * duration.sec();
+  const double regular_bits = static_cast<double>(regular_bytes) * 8.0;
+  const double cross_bits = static_cast<double>(cross_bytes) * 8.0;
+  const double needed = target_utilization * capacity_bits - regular_bits;
+  return std::clamp(needed / cross_bits, 0.0, 1.0);
+}
+
+}  // namespace rlir::sim

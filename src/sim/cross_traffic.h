@@ -1,0 +1,70 @@
+// Cross-traffic injector: the Figure-3 block that controls bottleneck-link
+// utilization.
+//
+// "The cross traffic injector provides two types of traffic selection
+// models; uniform and bursty models. Uniform model randomly selects cross
+// traffic with a given probability ... Bursty model simulates a situation
+// where cross traffic arrives in a bursty fashion by controlling cross
+// traffic injection duration."
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "timebase/time.h"
+
+namespace rlir::sim {
+
+enum class CrossModel : std::uint8_t {
+  kUniform,  ///< each cross packet admitted independently with probability p
+  kBursty,   ///< admitted (with probability p) only during periodic ON windows
+};
+
+struct CrossTrafficConfig {
+  CrossModel model = CrossModel::kUniform;
+  /// Packet selection probability (within ON windows for the bursty model).
+  double selection_probability = 1.0;
+  /// Bursty model: ON window length (paper: 10 seconds) and OFF gap.
+  timebase::Duration burst_on = timebase::Duration::seconds(10);
+  timebase::Duration burst_off = timebase::Duration::seconds(10);
+  std::uint64_t seed = 99;
+};
+
+class CrossTrafficInjector {
+ public:
+  explicit CrossTrafficInjector(CrossTrafficConfig config);
+
+  /// Decides whether the cross packet enters the bottleneck queue.
+  [[nodiscard]] bool admit(const net::Packet& packet);
+
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t admitted_bytes() const { return admitted_bytes_; }
+  [[nodiscard]] const CrossTrafficConfig& config() const { return config_; }
+
+  /// Fraction of time the bursty model is ON (1.0 for uniform).
+  [[nodiscard]] double duty_cycle() const;
+
+ private:
+  [[nodiscard]] bool in_burst(timebase::TimePoint ts) const;
+
+  CrossTrafficConfig config_;
+  common::Xoshiro256 rng_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+};
+
+/// Computes the uniform-model selection probability that yields
+/// `target_utilization` at a bottleneck of `link_bps` over `duration`, given
+/// the byte volumes of regular traffic (which always traverses the link) and
+/// of offered cross traffic. Clamped to [0, 1]. For the bursty model divide
+/// by the duty cycle (selection only happens inside ON windows but the target
+/// is a whole-run average).
+[[nodiscard]] double selection_for_utilization(double target_utilization, double link_bps,
+                                               timebase::Duration duration,
+                                               std::uint64_t regular_bytes,
+                                               std::uint64_t cross_bytes);
+
+}  // namespace rlir::sim

@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rlir::sim {
+
+void EventQueue::schedule(timebase::TimePoint t, EventFn fn) {
+  if (t < now_) {
+    throw std::logic_error("EventQueue::schedule: time travel (scheduling before now)");
+  }
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(timebase::Duration delay, EventFn fn) {
+  schedule(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the closure through a temporary pop.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until_empty() {
+  while (run_next()) {
+  }
+}
+
+void EventQueue::run_until(timebase::TimePoint deadline) {
+  while (!heap_.empty() && heap_.top().time <= deadline) {
+    run_next();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rlir::sim

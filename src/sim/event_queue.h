@@ -1,0 +1,61 @@
+// Discrete-event simulation core: a time-ordered queue of closures.
+//
+// Determinism contract: events at equal timestamps run in scheduling order
+// (FIFO tie-break by sequence number), so a run is exactly reproducible from
+// the same inputs and seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "timebase/time.h"
+
+namespace rlir::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Scheduling in the past (before the
+  /// currently executing event) is a logic error and throws.
+  void schedule(timebase::TimePoint t, EventFn fn);
+
+  /// Schedules `fn` at now() + delay.
+  void schedule_in(timebase::Duration delay, EventFn fn);
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue is empty.
+  void run_until_empty();
+
+  /// Runs events with time <= deadline; later events stay queued.
+  void run_until(timebase::TimePoint deadline);
+
+  [[nodiscard]] timebase::TimePoint now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    timebase::TimePoint time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  timebase::TimePoint now_ = timebase::TimePoint::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rlir::sim

@@ -1,0 +1,26 @@
+// Interface between the simulator and a reference-packet source.
+//
+// The pipeline calls the injector for every regular packet entering the
+// instrumented segment, in time order; the injector may hand back a probe to
+// enqueue immediately behind that packet. Keeping this an interface lets the
+// simulator stay independent of the measurement stack (rli::RliSender is the
+// production implementation).
+#pragma once
+
+#include <optional>
+
+#include "net/packet.h"
+
+namespace rlir::sim {
+
+class ReferenceInjector {
+ public:
+  virtual ~ReferenceInjector() = default;
+
+  /// Observes one regular packet at the sender's interface. Returns a
+  /// reference packet to inject right behind it, if the scheme calls for one.
+  [[nodiscard]] virtual std::optional<net::Packet> on_regular_packet(
+      const net::Packet& packet) = 0;
+};
+
+}  // namespace rlir::sim

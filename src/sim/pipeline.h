@@ -1,0 +1,97 @@
+// The paper's simulation environment (Figure 3): a two-hop feed-forward
+// path.
+//
+//   regular trace ──▶ [RLI sender] ──▶ Switch1 ──▶─┐
+//                                                  ├─▶ Switch2 ──▶ receiver taps
+//   cross trace ──▶ [cross-traffic injector] ──▶───┘   (bottleneck)
+//
+// Regular traffic (and the reference packets injected into it) traverses both
+// switches; cross traffic joins at the bottleneck only, raising its
+// utilization without being visible to the sender — the exact condition that
+// breaks RLI's adaptive injection across routers.
+//
+// The pipeline exploits the feed-forward structure: each FIFO stage preserves
+// time order, so stages are processed as sorted-stream merges rather than via
+// the general event scheduler (an order-of-magnitude faster for the
+// paper-scale sweeps; the event-driven core drives the multi-hop fat-tree
+// simulations instead).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/cross_traffic.h"
+#include "sim/injector.h"
+#include "sim/queue.h"
+#include "sim/tap.h"
+
+namespace rlir::sim {
+
+struct PipelineConfig {
+  QueueConfig switch1{.name = "switch1"};
+  QueueConfig switch2{.name = "switch2"};
+};
+
+/// Per-kind packet accounting for one run.
+struct PipelineResult {
+  QueueStats switch1;
+  QueueStats switch2;
+
+  std::uint64_t regular_offered = 0;
+  std::uint64_t regular_delivered = 0;
+  std::uint64_t regular_dropped = 0;
+
+  std::uint64_t reference_injected = 0;
+  std::uint64_t reference_delivered = 0;
+  std::uint64_t reference_dropped = 0;
+
+  std::uint64_t cross_offered = 0;
+  std::uint64_t cross_admitted = 0;
+  std::uint64_t cross_delivered = 0;
+  std::uint64_t cross_dropped = 0;
+
+  timebase::TimePoint last_departure;
+
+  [[nodiscard]] double regular_loss_rate() const {
+    return regular_offered == 0 ? 0.0
+                                : static_cast<double>(regular_dropped) /
+                                      static_cast<double>(regular_offered);
+  }
+  /// Bottleneck utilization over the run.
+  [[nodiscard]] double bottleneck_utilization() const { return bottleneck_utilization_; }
+
+  double bottleneck_utilization_ = 0.0;
+};
+
+class TwoHopPipeline {
+ public:
+  explicit TwoHopPipeline(PipelineConfig config);
+
+  /// Reference-packet source co-located with switch1 (optional; borrowed).
+  void set_reference_injector(ReferenceInjector* injector) { injector_ = injector; }
+  /// Cross-traffic admission control at the bottleneck (optional; borrowed).
+  void set_cross_injector(CrossTrafficInjector* cross) { cross_ = cross; }
+
+  /// Tap at the segment entry, before switch1 (sees regular packets only) —
+  /// where sender-side baseline instances (LDA, NetFlow) observe.
+  void add_ingress_tap(PacketTap* tap) { ingress_taps_.push_back(tap); }
+  /// Tap after switch2 — where the RLI/RLIR receiver sits. Sees everything
+  /// that survives: regular, reference, and cross packets, in arrival order.
+  void add_egress_tap(PacketTap* tap) { egress_taps_.push_back(tap); }
+
+  /// Runs the pipeline over time-sorted regular and cross packet streams.
+  /// Packet `ts` fields must be nondecreasing within each stream.
+  PipelineResult run(std::span<const net::Packet> regular,
+                     std::span<const net::Packet> cross);
+
+ private:
+  PipelineConfig config_;
+  ReferenceInjector* injector_ = nullptr;
+  CrossTrafficInjector* cross_ = nullptr;
+  std::vector<PacketTap*> ingress_taps_;
+  std::vector<PacketTap*> egress_taps_;
+};
+
+}  // namespace rlir::sim

@@ -1,0 +1,72 @@
+#include "sim/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlir::sim {
+
+FifoQueue::FifoQueue(QueueConfig config) : config_(std::move(config)) {
+  if (config_.link_bps <= 0.0) {
+    throw std::invalid_argument("FifoQueue: link rate must be positive");
+  }
+}
+
+void FifoQueue::drain_departed(timebase::TimePoint now) {
+  while (!in_flight_.empty() && in_flight_.front().first <= now) {
+    occupancy_ -= in_flight_.front().second;
+    in_flight_.pop_front();
+  }
+}
+
+std::optional<timebase::TimePoint> FifoQueue::offer(const net::Packet& packet,
+                                                    timebase::TimePoint arrival) {
+  if (arrival < last_arrival_) {
+    throw std::logic_error("FifoQueue[" + config_.name + "]: arrivals must be time-ordered");
+  }
+  last_arrival_ = arrival;
+
+  drain_departed(arrival);
+  ++stats_.arrived_packets;
+  stats_.arrived_bytes += packet.size_bytes;
+
+  if (occupancy_ + packet.size_bytes > config_.capacity_bytes) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return std::nullopt;
+  }
+
+  const timebase::Duration tx = timebase::transmission_time(packet.size_bytes, config_.link_bps);
+  const timebase::TimePoint ready = arrival + config_.processing_delay;
+  const timebase::TimePoint start = std::max(ready, busy_until_);
+  const timebase::TimePoint departure = start + tx;
+
+  busy_until_ = departure;
+  stats_.busy_time += tx;
+  ++stats_.departed_packets;
+
+  occupancy_ += packet.size_bytes;
+  in_flight_.emplace_back(departure, packet.size_bytes);
+  stats_.max_occupancy_bytes = std::max(stats_.max_occupancy_bytes, occupancy_);
+
+  return departure;
+}
+
+std::uint64_t FifoQueue::occupancy_bytes(timebase::TimePoint at) {
+  drain_departed(at);
+  return occupancy_;
+}
+
+double FifoQueue::utilization(timebase::TimePoint horizon) const {
+  if (horizon.ns() <= 0) return 0.0;
+  return static_cast<double>(stats_.busy_time.ns()) / static_cast<double>(horizon.ns());
+}
+
+void FifoQueue::reset() {
+  busy_until_ = timebase::TimePoint::zero();
+  last_arrival_ = timebase::TimePoint::zero();
+  in_flight_.clear();
+  occupancy_ = 0;
+  stats_ = QueueStats{};
+}
+
+}  // namespace rlir::sim

@@ -1,0 +1,91 @@
+// FIFO output-port queue: the delay- and loss-producing element of the
+// simulator.
+//
+// Model (matches the paper's "processing and queueing delays ... governed by
+// queue size and packet processing time"):
+//   - a packet arriving at time t first pays a fixed per-packet processing
+//     delay, then waits for the transmitter, then serializes at the link rate;
+//   - departure = max(t + processing, previous departure) + tx_time(size);
+//   - tail drop: if the bytes currently awaiting transmission exceed the
+//     configured capacity at arrival, the packet is dropped.
+//
+// The queue requires nondecreasing arrival times (FIFO virtual-time model);
+// this holds both under the event-driven scheduler and in the feed-forward
+// pipeline. Violations throw, catching composition bugs early.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+#include "timebase/time.h"
+
+namespace rlir::sim {
+
+struct QueueConfig {
+  /// Link (service) rate in bits per second. Default: 10GbE-class, standing
+  /// in for the paper's OC-192 (9.95 Gb/s) link.
+  double link_bps = 10e9;
+  /// Fixed per-packet processing (lookup/forwarding) delay.
+  timebase::Duration processing_delay = timebase::Duration::nanoseconds(500);
+  /// Buffer capacity in bytes of queued-but-not-yet-transmitted data.
+  /// Default 500KB ≈ 400µs at 10G — shallow data-center switch buffers.
+  std::uint64_t capacity_bytes = 500 * 1000;
+  std::string name = "queue";
+};
+
+struct QueueStats {
+  std::uint64_t arrived_packets = 0;
+  std::uint64_t arrived_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t departed_packets = 0;
+  /// Total transmitter busy time (serialization only).
+  timebase::Duration busy_time{};
+  std::uint64_t max_occupancy_bytes = 0;
+
+  [[nodiscard]] double loss_rate() const {
+    return arrived_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets) / static_cast<double>(arrived_packets);
+  }
+};
+
+class FifoQueue {
+ public:
+  explicit FifoQueue(QueueConfig config);
+
+  /// Offers a packet arriving at `arrival`. Returns the departure time, or
+  /// nullopt if the packet was tail-dropped. Arrival times must be
+  /// nondecreasing across calls.
+  std::optional<timebase::TimePoint> offer(const net::Packet& packet,
+                                           timebase::TimePoint arrival);
+
+  /// Bytes awaiting transmission as of `at` (drains the internal ledger).
+  [[nodiscard]] std::uint64_t occupancy_bytes(timebase::TimePoint at);
+
+  /// Transmitter utilization over [0, horizon]: busy time / horizon.
+  [[nodiscard]] double utilization(timebase::TimePoint horizon) const;
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+  [[nodiscard]] const QueueConfig& config() const { return config_; }
+  [[nodiscard]] timebase::TimePoint last_departure() const { return busy_until_; }
+
+  /// Resets dynamic state, keeping configuration.
+  void reset();
+
+ private:
+  void drain_departed(timebase::TimePoint now);
+
+  QueueConfig config_;
+  timebase::TimePoint busy_until_ = timebase::TimePoint::zero();
+  timebase::TimePoint last_arrival_ = timebase::TimePoint::zero();
+  /// (departure time, size) of packets still occupying buffer space.
+  std::deque<std::pair<timebase::TimePoint, std::uint32_t>> in_flight_;
+  std::uint64_t occupancy_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace rlir::sim

@@ -1,0 +1,43 @@
+#include "timebase/clock.h"
+
+#include <cmath>
+
+#include "net/hash.h"
+
+namespace rlir::timebase {
+
+SyncedClock::SyncedClock(Duration sync_interval, Duration residual_bound, double drift_ppb,
+                         std::uint64_t seed)
+    : sync_interval_(sync_interval),
+      residual_bound_(residual_bound),
+      drift_ppb_(drift_ppb),
+      seed_(seed) {}
+
+TimePoint SyncedClock::now(TimePoint true_time) const {
+  // Which sync epoch are we in, and how far into it?
+  const std::int64_t interval = sync_interval_.ns();
+  const std::int64_t epoch = true_time.ns() >= 0 ? true_time.ns() / interval
+                                                 : (true_time.ns() - interval + 1) / interval;
+  const std::int64_t into_epoch = true_time.ns() - epoch * interval;
+
+  // Residual offset right after the sync at the start of this epoch:
+  // deterministic pseudo-random draw keyed by (seed, epoch), uniform in
+  // [-bound, +bound].
+  const std::uint64_t h =
+      net::mix64(seed_ ^ net::mix64(static_cast<std::uint64_t>(epoch) + 0x9e37u));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  const double residual_ns = (2.0 * unit - 1.0) * static_cast<double>(residual_bound_.ns());
+
+  // Drift accumulated since that sync.
+  const double drift_ns = static_cast<double>(into_epoch) * drift_ppb_ * 1e-9;
+
+  return true_time + Duration(static_cast<std::int64_t>(std::llround(residual_ns + drift_ns)));
+}
+
+Duration SyncedClock::worst_case_error() const {
+  const double drift_ns =
+      static_cast<double>(sync_interval_.ns()) * std::abs(drift_ppb_) * 1e-9;
+  return residual_bound_ + Duration(static_cast<std::int64_t>(std::ceil(drift_ns)));
+}
+
+}  // namespace rlir::timebase

@@ -1,0 +1,87 @@
+// Per-device clock models.
+//
+// RLI assumes time-synchronized sender/receiver pairs ("GPS-based clock
+// synchronization or IEEE 1588", paper Section 2). Rather than assume perfect
+// sync, we model clocks explicitly: a clock maps the simulator's true time to
+// the device's local reading. The residual sync error then propagates into
+// reference-delay measurements exactly the way it would in hardware, and
+// tests can bound its effect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "timebase/time.h"
+
+namespace rlir::timebase {
+
+/// Interface: maps true simulation time to this device's local clock reading.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now(TimePoint true_time) const = 0;
+};
+
+/// Ideal clock: local time equals true time. The evaluation default, matching
+/// the paper's simulation (which sidesteps sync error entirely).
+class PerfectClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now(TimePoint true_time) const override { return true_time; }
+};
+
+/// Constant-offset clock (e.g. a GPS-disciplined oscillator with a fixed
+/// asymmetry bias).
+class FixedOffsetClock final : public Clock {
+ public:
+  explicit FixedOffsetClock(Duration offset) : offset_(offset) {}
+  [[nodiscard]] TimePoint now(TimePoint true_time) const override {
+    return true_time + offset_;
+  }
+  [[nodiscard]] Duration offset() const { return offset_; }
+
+ private:
+  Duration offset_;
+};
+
+/// Clock with initial offset plus linear frequency error (parts-per-billion).
+class DriftingClock final : public Clock {
+ public:
+  DriftingClock(Duration initial_offset, double drift_ppb)
+      : offset_(initial_offset), drift_ppb_(drift_ppb) {}
+
+  [[nodiscard]] TimePoint now(TimePoint true_time) const override {
+    const double drift_ns = static_cast<double>(true_time.ns()) * drift_ppb_ * 1e-9;
+    return true_time + offset_ + Duration(static_cast<std::int64_t>(drift_ns));
+  }
+
+ private:
+  Duration offset_;
+  double drift_ppb_;
+};
+
+/// IEEE-1588-style synchronized clock: between sync epochs the clock drifts;
+/// at each sync interval the offset is pulled back to a residual error drawn
+/// uniformly from [-residual_bound, +residual_bound]. This reproduces the
+/// sawtooth error profile of PTP slaves.
+class SyncedClock final : public Clock {
+ public:
+  SyncedClock(Duration sync_interval, Duration residual_bound, double drift_ppb,
+              std::uint64_t seed);
+
+  [[nodiscard]] TimePoint now(TimePoint true_time) const override;
+
+  [[nodiscard]] Duration sync_interval() const { return sync_interval_; }
+  [[nodiscard]] Duration residual_bound() const { return residual_bound_; }
+  /// Worst-case |local - true| over any instant (residual + drift over one
+  /// whole sync interval).
+  [[nodiscard]] Duration worst_case_error() const;
+
+ private:
+  Duration sync_interval_;
+  Duration residual_bound_;
+  double drift_ppb_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rlir::timebase

@@ -1,0 +1,48 @@
+#include "timebase/time.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rlir::timebase {
+
+Duration Duration::from_seconds(double s) {
+  return Duration(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  const char* unit = "ns";
+  double v = static_cast<double>(ns);
+  const double a = std::abs(v);
+  if (a >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (a >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (a >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+
+std::string TimePoint::to_string() const { return format_ns(ns_); }
+
+Duration transmission_time(std::uint64_t bytes, double bits_per_sec) {
+  if (bits_per_sec <= 0.0) {
+    throw std::invalid_argument("transmission_time: link rate must be positive");
+  }
+  const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_sec;
+  return Duration::from_seconds(seconds);
+}
+
+}  // namespace rlir::timebase

@@ -1,0 +1,96 @@
+// Nanosecond-resolution time types used throughout the simulator and the
+// measurement stack.
+//
+// The simulator runs on a single "true time" axis; clock models
+// (timebase/clock.h) map true time to per-device local readings. Using strong
+// types instead of raw int64_t prevents the classic bug family of mixing
+// durations, absolute times, and unit scales.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rlir::timebase {
+
+/// A signed span of time with nanosecond resolution.
+///
+/// Arithmetic is saturating-free (plain int64) — at nanosecond resolution the
+/// range covers ±292 years, far beyond any simulation horizon.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t v) { return Duration(v); }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t v) { return Duration(v * 1'000); }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t v) { return Duration(v * 1'000'000); }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000'000); }
+  /// Converts a floating-point second count, rounding to the nearest ns.
+  [[nodiscard]] static Duration from_seconds(double s);
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr Duration& operator+=(Duration rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr Duration& operator-=(Duration rhs) { ns_ -= rhs.ns_; return *this; }
+  constexpr Duration& operator*=(std::int64_t k) { ns_ *= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator-(Duration a) { return Duration(-a.ns_); }
+  /// Integer division; truncates toward zero.
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ns_ / k); }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "12.3us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation's true-time axis (ns since t=0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint(0); }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  constexpr TimePoint& operator-=(Duration d) { ns_ -= d.ns(); return *this; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.ns_ + d.ns()); }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.ns_ - d.ns()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration(a.ns_ - b.ns_); }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Transmission (serialization) time of `bytes` on a link of `bits_per_sec`.
+[[nodiscard]] Duration transmission_time(std::uint64_t bytes, double bits_per_sec);
+
+}  // namespace rlir::timebase

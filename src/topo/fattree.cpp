@@ -1,0 +1,205 @@
+#include "topo/fattree.h"
+
+#include <stdexcept>
+
+namespace rlir::topo {
+
+std::string NodeId::name(int k) const {
+  const int half = k / 2;
+  switch (tier) {
+    case Tier::kTor: return "T" + std::to_string(pod * half + index + 1);
+    case Tier::kEdge: return "E" + std::to_string(pod * half + index + 1);
+    case Tier::kCore: return "C" + std::to_string(index + 1);
+  }
+  return "?";
+}
+
+FatTree::FatTree(int k) : k_(k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("FatTree: k must be even and >= 2");
+  }
+  if (k > 254) {
+    throw std::invalid_argument("FatTree: k too large for 10.pod.tor.0/24 addressing");
+  }
+}
+
+NodeId FatTree::tor(int pod, int index) const {
+  if (pod < 0 || pod >= pods() || index < 0 || index >= tors_per_pod()) {
+    throw std::out_of_range("FatTree::tor: pod/index out of range");
+  }
+  return NodeId{Tier::kTor, static_cast<std::uint16_t>(pod), static_cast<std::uint16_t>(index)};
+}
+
+NodeId FatTree::edge(int pod, int index) const {
+  if (pod < 0 || pod >= pods() || index < 0 || index >= edges_per_pod()) {
+    throw std::out_of_range("FatTree::edge: pod/index out of range");
+  }
+  return NodeId{Tier::kEdge, static_cast<std::uint16_t>(pod), static_cast<std::uint16_t>(index)};
+}
+
+NodeId FatTree::core(int index) const {
+  if (index < 0 || index >= core_count()) {
+    throw std::out_of_range("FatTree::core: index out of range");
+  }
+  return NodeId{Tier::kCore, 0, static_cast<std::uint16_t>(index)};
+}
+
+NodeId FatTree::core_for(int edge_index, int j) const {
+  const int half = k_ / 2;
+  if (edge_index < 0 || edge_index >= half || j < 0 || j >= half) {
+    throw std::out_of_range("FatTree::core_for: edge_index/j out of range");
+  }
+  return core(edge_index * half + j);
+}
+
+int FatTree::edge_position_for_core(int core_index) const {
+  if (core_index < 0 || core_index >= core_count()) {
+    throw std::out_of_range("FatTree::edge_position_for_core: index out of range");
+  }
+  return core_index / (k_ / 2);
+}
+
+std::size_t FatTree::flat_index(NodeId node) const {
+  const int half = k_ / 2;
+  switch (node.tier) {
+    case Tier::kTor:
+      return static_cast<std::size_t>(node.pod) * half + node.index;
+    case Tier::kEdge:
+      return static_cast<std::size_t>(tor_count()) +
+             static_cast<std::size_t>(node.pod) * half + node.index;
+    case Tier::kCore:
+      return static_cast<std::size_t>(tor_count()) + edge_count() + node.index;
+  }
+  throw std::logic_error("FatTree::flat_index: bad tier");
+}
+
+NodeId FatTree::from_flat_index(std::size_t flat) const {
+  const int half = k_ / 2;
+  if (flat < static_cast<std::size_t>(tor_count())) {
+    return NodeId{Tier::kTor, static_cast<std::uint16_t>(flat / half),
+                  static_cast<std::uint16_t>(flat % half)};
+  }
+  flat -= tor_count();
+  if (flat < static_cast<std::size_t>(edge_count())) {
+    return NodeId{Tier::kEdge, static_cast<std::uint16_t>(flat / half),
+                  static_cast<std::uint16_t>(flat % half)};
+  }
+  flat -= edge_count();
+  if (flat < static_cast<std::size_t>(core_count())) {
+    return NodeId{Tier::kCore, 0, static_cast<std::uint16_t>(flat)};
+  }
+  throw std::out_of_range("FatTree::from_flat_index: index out of range");
+}
+
+void FatTree::check_tor(NodeId n, const char* who) const {
+  if (n.tier != Tier::kTor || n.pod >= pods() || n.index >= tors_per_pod()) {
+    throw std::invalid_argument(std::string(who) + ": not a valid ToR node");
+  }
+}
+
+void FatTree::check_core(NodeId n, const char* who) const {
+  if (n.tier != Tier::kCore || n.index >= core_count()) {
+    throw std::invalid_argument(std::string(who) + ": not a valid core node");
+  }
+}
+
+net::Ipv4Prefix FatTree::host_prefix(NodeId tor_node) const {
+  check_tor(tor_node, "FatTree::host_prefix");
+  return net::Ipv4Prefix(
+      net::Ipv4Address(10, static_cast<std::uint8_t>(tor_node.pod),
+                       static_cast<std::uint8_t>(tor_node.index), 0),
+      24);
+}
+
+net::Ipv4Address FatTree::host_address(NodeId tor_node, int host) const {
+  check_tor(tor_node, "FatTree::host_address");
+  if (host < 0 || host > 253) {
+    throw std::out_of_range("FatTree::host_address: host out of range");
+  }
+  return net::Ipv4Address(10, static_cast<std::uint8_t>(tor_node.pod),
+                          static_cast<std::uint8_t>(tor_node.index),
+                          static_cast<std::uint8_t>(host + 1));
+}
+
+std::optional<NodeId> FatTree::tor_for_address(net::Ipv4Address addr) const {
+  if (addr.octet(0) != 10) return std::nullopt;
+  const int pod = addr.octet(1);
+  const int index = addr.octet(2);
+  if (pod >= pods() || index >= tors_per_pod()) return std::nullopt;
+  return tor(pod, index);
+}
+
+bool FatTree::adjacent(NodeId a, NodeId b) const {
+  if (a.tier > b.tier) std::swap(a, b);
+  if (a.tier == Tier::kTor && b.tier == Tier::kEdge) {
+    return a.pod == b.pod;  // full bipartite within a pod
+  }
+  if (a.tier == Tier::kEdge && b.tier == Tier::kCore) {
+    return edge_position_for_core(b.index) == a.index;
+  }
+  return false;
+}
+
+std::vector<NodeId> FatTree::neighbors(NodeId node) const {
+  const int half = k_ / 2;
+  std::vector<NodeId> out;
+  switch (node.tier) {
+    case Tier::kTor:
+      out.reserve(half);
+      for (int e = 0; e < half; ++e) out.push_back(edge(node.pod, e));
+      break;
+    case Tier::kEdge:
+      out.reserve(k_);
+      for (int t = 0; t < half; ++t) out.push_back(tor(node.pod, t));
+      for (int j = 0; j < half; ++j) out.push_back(core_for(node.index, j));
+      break;
+    case Tier::kCore:
+      out.reserve(k_);
+      for (int p = 0; p < k_; ++p) {
+        out.push_back(edge(p, edge_position_for_core(node.index)));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> FatTree::paths_between(NodeId src_tor, NodeId dst_tor) const {
+  check_tor(src_tor, "FatTree::paths_between(src)");
+  check_tor(dst_tor, "FatTree::paths_between(dst)");
+  const int half = k_ / 2;
+  std::vector<std::vector<NodeId>> paths;
+
+  if (src_tor == dst_tor) {
+    paths.push_back({src_tor});
+    return paths;
+  }
+  if (src_tor.pod == dst_tor.pod) {
+    for (int e = 0; e < half; ++e) {
+      paths.push_back({src_tor, edge(src_tor.pod, e), dst_tor});
+    }
+    return paths;
+  }
+  for (int e = 0; e < half; ++e) {
+    for (int j = 0; j < half; ++j) {
+      paths.push_back({src_tor, edge(src_tor.pod, e), core_for(e, j),
+                       edge(dst_tor.pod, e), dst_tor});
+    }
+  }
+  return paths;
+}
+
+std::vector<NodeId> FatTree::upward_path(NodeId src_tor, NodeId core_node) const {
+  check_tor(src_tor, "FatTree::upward_path");
+  check_core(core_node, "FatTree::upward_path");
+  const int e = edge_position_for_core(core_node.index);
+  return {src_tor, edge(src_tor.pod, e), core_node};
+}
+
+std::vector<NodeId> FatTree::downward_path(NodeId core_node, NodeId dst_tor) const {
+  check_tor(dst_tor, "FatTree::downward_path");
+  check_core(core_node, "FatTree::downward_path");
+  const int e = edge_position_for_core(core_node.index);
+  return {core_node, edge(dst_tor.pod, e), dst_tor};
+}
+
+}  // namespace rlir::topo

@@ -1,0 +1,108 @@
+// k-ary fat-tree topology (the data-center fabric of the paper's Figure 1:
+// ToR, edge/aggregation, and core tiers).
+//
+// Structure for even k:
+//   * k pods; each pod has k/2 ToR switches and k/2 edge (aggregation)
+//     switches; every ToR connects to every edge switch in its pod;
+//   * (k/2)^2 core switches; edge switch at position i in each pod connects
+//     to cores [i*k/2, (i+1)*k/2);
+//   * each ToR serves k/2 hosts (not modeled individually; a ToR owns an IP
+//     block, which is what RLIR's prefix demultiplexer keys on).
+//
+// A consequence RLIR exploits: the path ToR -> specific core is *unique*
+// (ToR -> edge i -> core (i,j)); all ECMP ambiguity is in which core a flow
+// hashes to. Receivers at cores therefore see path-unambiguous upstream
+// segments, and the downstream demultiplexer only has to recover the core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rlir::topo {
+
+enum class Tier : std::uint8_t { kTor, kEdge, kCore };
+
+[[nodiscard]] constexpr const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kTor: return "tor";
+    case Tier::kEdge: return "edge";
+    case Tier::kCore: return "core";
+  }
+  return "?";
+}
+
+/// Dense node identifier: tier + position. For ToR/edge, `pod` and `index`
+/// (position within pod); for core, `index` alone (pod is 0).
+struct NodeId {
+  Tier tier = Tier::kTor;
+  std::uint16_t pod = 0;
+  std::uint16_t index = 0;
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  /// Paper-style name: T1..T8, E1..E8, C1..C4 (1-based across pods).
+  [[nodiscard]] std::string name(int k) const;
+};
+
+class FatTree {
+ public:
+  /// k must be even and >= 2.
+  explicit FatTree(int k);
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int pods() const { return k_; }
+  [[nodiscard]] int tors_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int edges_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int tor_count() const { return k_ * k_ / 2; }
+  [[nodiscard]] int edge_count() const { return k_ * k_ / 2; }
+  [[nodiscard]] int core_count() const { return (k_ / 2) * (k_ / 2); }
+  [[nodiscard]] int switch_count() const { return tor_count() + edge_count() + core_count(); }
+  [[nodiscard]] int hosts_per_tor() const { return k_ / 2; }
+  [[nodiscard]] int host_count() const { return tor_count() * hosts_per_tor(); }
+
+  [[nodiscard]] NodeId tor(int pod, int index) const;
+  [[nodiscard]] NodeId edge(int pod, int index) const;
+  [[nodiscard]] NodeId core(int index) const;
+  /// Core connected to edge-position `edge_index` at offset `j` (j < k/2).
+  [[nodiscard]] NodeId core_for(int edge_index, int j) const;
+  /// The edge position every path to core `core_index` must use.
+  [[nodiscard]] int edge_position_for_core(int core_index) const;
+
+  /// Flat dense index over all switches (for vectors keyed by node).
+  [[nodiscard]] std::size_t flat_index(NodeId node) const;
+  [[nodiscard]] NodeId from_flat_index(std::size_t flat) const;
+
+  /// Address block owned by a ToR: 10.pod.tor.0/24.
+  [[nodiscard]] net::Ipv4Prefix host_prefix(NodeId tor) const;
+  /// i-th host address under a ToR.
+  [[nodiscard]] net::Ipv4Address host_address(NodeId tor, int host) const;
+  /// ToR owning an address, if it is inside 10.0.0.0/8 and in range.
+  [[nodiscard]] std::optional<NodeId> tor_for_address(net::Ipv4Address addr) const;
+
+  /// True if `a` and `b` are directly linked.
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+  /// Neighbors of a node, in deterministic order (down-links then up-links).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// All distinct ToR-to-ToR paths (sequences of switches, inclusive).
+  /// Same pod: k/2 paths (via each edge switch); cross pod: (k/2)^2 paths.
+  [[nodiscard]] std::vector<std::vector<NodeId>> paths_between(NodeId src_tor,
+                                                               NodeId dst_tor) const;
+
+  /// Unique upward path ToR -> core (via the single feasible edge switch).
+  [[nodiscard]] std::vector<NodeId> upward_path(NodeId src_tor, NodeId core) const;
+  /// Unique downward path core -> ToR.
+  [[nodiscard]] std::vector<NodeId> downward_path(NodeId core, NodeId dst_tor) const;
+
+ private:
+  void check_tor(NodeId n, const char* who) const;
+  void check_core(NodeId n, const char* who) const;
+
+  int k_;
+};
+
+}  // namespace rlir::topo

@@ -1,0 +1,173 @@
+#include "topo/fattree_sim.h"
+
+#include <stdexcept>
+
+namespace rlir::topo {
+
+FatTreeSim::FatTreeSim(const FatTree* topo, FatTreeSimConfig config, const EcmpHasher* hasher)
+    : topo_(topo), config_(config), hasher_(hasher) {
+  if (topo_ == nullptr || hasher_ == nullptr) {
+    throw std::invalid_argument("FatTreeSim: topology and hasher must not be null");
+  }
+}
+
+void FatTreeSim::add_arrival_tap(NodeId node, sim::PacketTap* tap) {
+  taps_[topo_->flat_index(node)].push_back(tap);
+}
+
+void FatTreeSim::add_agent(NodeId node, NodeAgent* agent) {
+  agents_[topo_->flat_index(node)].push_back(agent);
+}
+
+void FatTreeSim::add_extra_delay(NodeId node, timebase::Duration extra) {
+  extra_delay_[topo_->flat_index(node)] += extra;
+}
+
+sim::FifoQueue& FatTreeSim::link_queue(NodeId from, NodeId to) {
+  const LinkKey key{topo_->flat_index(from), topo_->flat_index(to)};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    if (!topo_->adjacent(from, to)) {
+      throw std::logic_error("FatTreeSim: forwarding over non-existent link " +
+                             from.name(topo_->k()) + "->" + to.name(topo_->k()));
+    }
+    sim::QueueConfig qc = config_.link_queue;
+    qc.name = from.name(topo_->k()) + "->" + to.name(topo_->k());
+    // A slow node (injected anomaly) adds forwarding delay on all its egress
+    // queues.
+    if (const auto extra = extra_delay_.find(key.first); extra != extra_delay_.end()) {
+      qc.processing_delay += extra->second;
+    }
+    it = links_.emplace(key, sim::FifoQueue(qc)).first;
+  }
+  return it->second;
+}
+
+const sim::QueueStats* FatTreeSim::link_stats(NodeId from, NodeId to) const {
+  const LinkKey key{topo_->flat_index(from), topo_->flat_index(to)};
+  const auto it = links_.find(key);
+  return it == links_.end() ? nullptr : &it->second.stats();
+}
+
+void FatTreeSim::inject_from_host(net::Packet packet) {
+  const auto src_tor = topo_->tor_for_address(packet.key.src);
+  if (!src_tor) {
+    throw std::invalid_argument("FatTreeSim::inject_from_host: source address " +
+                                packet.key.src.to_string() + " is not under any ToR");
+  }
+  packet.injected_at = packet.ts;
+  ++stats_.injected;
+  const NodeId node = *src_tor;
+  events_.schedule(packet.ts, [this, packet, node] { handle_arrival(packet, node); });
+}
+
+void FatTreeSim::inject_reference(net::Packet packet, NodeId from, NodeId to) {
+  ExplicitRoute route;
+  if (from.tier == Tier::kTor && to.tier == Tier::kCore) {
+    route.path = topo_->upward_path(from, to);
+  } else if (from.tier == Tier::kCore && to.tier == Tier::kTor) {
+    route.path = topo_->downward_path(from, to);
+  } else {
+    throw std::invalid_argument(
+        "FatTreeSim::inject_reference: only ToR->core and core->ToR probes are supported");
+  }
+  explicit_routes_[packet.seq] = std::move(route);
+  ++stats_.injected;
+
+  // The probe starts its journey at `from`: it enters that node's egress
+  // queue immediately (behind whatever regular packet triggered it).
+  const NodeId next = explicit_routes_[packet.seq].path.at(1);
+  explicit_routes_[packet.seq].position = 1;
+  if (events_.now() >= packet.ts) {
+    forward(packet, from, next);
+  } else {
+    events_.schedule(packet.ts, [this, packet, from, next] { forward(packet, from, next); });
+  }
+}
+
+NodeId FatTreeSim::route_next_hop(const net::Packet& packet, NodeId node) const {
+  const int half = topo_->k() / 2;
+  const auto dst_tor = topo_->tor_for_address(packet.key.dst);
+  if (!dst_tor) {
+    throw std::logic_error("FatTreeSim: destination " + packet.key.dst.to_string() +
+                           " is not under any ToR");
+  }
+
+  switch (node.tier) {
+    case Tier::kTor: {
+      // Upward: the ToR hashes the flow over its k/2 edge uplinks.
+      const auto pos = hasher_->select(packet.key, router_salt(*topo_, node),
+                                       static_cast<std::uint32_t>(half));
+      return topo_->edge(node.pod, static_cast<int>(pos));
+    }
+    case Tier::kEdge: {
+      if (dst_tor->pod == node.pod) {
+        return *dst_tor;  // downward within the pod
+      }
+      // Upward: the edge hashes the flow over its k/2 core uplinks.
+      const auto j = hasher_->select(packet.key, router_salt(*topo_, node),
+                                     static_cast<std::uint32_t>(half));
+      return topo_->core_for(node.index, static_cast<int>(j));
+    }
+    case Tier::kCore:
+      // Downward: deterministic — the edge at this core's position in the
+      // destination pod.
+      return topo_->edge(dst_tor->pod, topo_->edge_position_for_core(node.index));
+  }
+  throw std::logic_error("FatTreeSim::route_next_hop: bad tier");
+}
+
+void FatTreeSim::forward(net::Packet packet, NodeId from, NodeId to) {
+  auto& queue = link_queue(from, to);
+  const auto departure = queue.offer(packet, packet.ts);
+  if (!departure) {
+    ++stats_.dropped;
+    explicit_routes_.erase(packet.seq);
+    return;
+  }
+  ++stats_.forwarded_hops;
+  packet.ts = *departure + config_.propagation;
+  events_.schedule(packet.ts, [this, packet, to] { handle_arrival(packet, to); });
+}
+
+void FatTreeSim::handle_arrival(net::Packet packet, NodeId node) {
+  // Core marking (ToS demux strategy): the core stamps its identity.
+  if (config_.core_marking && node.tier == Tier::kCore &&
+      packet.kind == net::PacketKind::kRegular) {
+    packet.tos = static_cast<net::TosMark>(node.index + 1);
+  }
+
+  const std::size_t flat = topo_->flat_index(node);
+  if (const auto taps = taps_.find(flat); taps != taps_.end()) {
+    for (sim::PacketTap* tap : taps->second) tap->on_packet(packet, packet.ts);
+  }
+  if (const auto agents = agents_.find(flat); agents != agents_.end()) {
+    for (NodeAgent* agent : agents->second) agent->on_arrival(packet, node, *this);
+  }
+
+  // Reference packets follow their pinned route and are consumed at its end.
+  if (const auto route_it = explicit_routes_.find(packet.seq);
+      packet.is_reference() && route_it != explicit_routes_.end()) {
+    ExplicitRoute& route = route_it->second;
+    if (route.position + 1 >= route.path.size()) {
+      ++stats_.delivered_reference;
+      explicit_routes_.erase(route_it);
+      return;
+    }
+    const NodeId next = route.path[++route.position];
+    forward(packet, node, next);
+    return;
+  }
+
+  // Regular/cross packets: delivered once they reach the destination ToR.
+  const auto dst_tor = topo_->tor_for_address(packet.key.dst);
+  if (dst_tor && node == *dst_tor) {
+    ++stats_.delivered_regular;
+    return;
+  }
+  forward(packet, node, route_next_hop(packet, node));
+}
+
+void FatTreeSim::run() { events_.run_until_empty(); }
+
+}  // namespace rlir::topo

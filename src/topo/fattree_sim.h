@@ -1,0 +1,133 @@
+// Event-driven packet simulation over a k-ary fat-tree.
+//
+// Every directed link has a FIFO output queue (sim::FifoQueue); packets
+// traverse ToR -> edge -> core -> edge -> ToR paths chosen by per-router ECMP
+// hashing; events are processed in global time order by sim::EventQueue.
+//
+// Measurement hooks:
+//   * arrival taps per node — RLIR receivers and ground-truth trackers
+//     observe every packet arriving at a switch;
+//   * node agents — active instances (RLIR senders) that may inject
+//     reference packets at a node in reaction to passing traffic;
+//   * explicit-route packets — reference probes travel a pinned path between
+//     their sender and receiver and are consumed at the receiver;
+//   * per-node extra forwarding delay — latency-anomaly injection for
+//     localization experiments;
+//   * optional core marking — cores stamp the ToS field with their identity
+//     (the paper's packet-marking demux strategy, Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_queue.h"
+#include "sim/queue.h"
+#include "sim/tap.h"
+#include "timebase/time.h"
+#include "topo/ecmp.h"
+#include "topo/fattree.h"
+
+namespace rlir::topo {
+
+class FatTreeSim;
+
+/// Active instance attached to a switch; called for every packet arriving
+/// there (after taps). May inject reference packets via the sim reference to
+/// FatTreeSim::inject_reference.
+class NodeAgent {
+ public:
+  virtual ~NodeAgent() = default;
+  virtual void on_arrival(const net::Packet& packet, NodeId node, FatTreeSim& sim) = 0;
+};
+
+struct FatTreeSimConfig {
+  /// Template for every directed link's output queue.
+  sim::QueueConfig link_queue{.link_bps = 10e9,
+                              .processing_delay = timebase::Duration::nanoseconds(500),
+                              .capacity_bytes = 500 * 1000,
+                              .name = "link"};
+  /// Per-link propagation delay (short DC cables).
+  timebase::Duration propagation = timebase::Duration::nanoseconds(500);
+  /// When true, core switches stamp packet.tos = core index + 1 on arrival
+  /// (the packet-marking demux strategy).
+  bool core_marking = false;
+};
+
+struct FatTreeSimStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered_regular = 0;
+  std::uint64_t delivered_reference = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forwarded_hops = 0;
+};
+
+class FatTreeSim {
+ public:
+  FatTreeSim(const FatTree* topo, FatTreeSimConfig config, const EcmpHasher* hasher);
+
+  /// Observation/injection wiring; must be completed before run().
+  void add_arrival_tap(NodeId node, sim::PacketTap* tap);
+  void add_agent(NodeId node, NodeAgent* agent);
+  /// Adds `extra` forwarding delay at every egress queue of `node`
+  /// (latency-anomaly injection). Must be called before any packet transits
+  /// the node.
+  void add_extra_delay(NodeId node, timebase::Duration extra);
+
+  /// Schedules a host packet entering the fabric at its source ToR
+  /// (derived from packet.key.src) at time packet.ts.
+  void inject_from_host(net::Packet packet);
+
+  /// Injects a reference packet at `from`, pinned to the unique up/down path
+  /// to `to` (ToR -> core or core -> ToR). The probe is consumed at `to`.
+  /// Called by node agents during the run, or before it.
+  void inject_reference(net::Packet packet, NodeId from, NodeId to);
+
+  /// Runs until all events drain.
+  void run();
+
+  [[nodiscard]] const FatTreeSimStats& stats() const { return stats_; }
+  [[nodiscard]] timebase::TimePoint now() const { return events_.now(); }
+  [[nodiscard]] const FatTree& topology() const { return *topo_; }
+
+  /// Allocates a sequence number for a reference packet. Probe seqs live in
+  /// a reserved high range so they can never collide with trace packets (the
+  /// pinned-route table is keyed by seq).
+  [[nodiscard]] std::uint64_t allocate_ref_seq() { return next_ref_seq_++; }
+
+  /// Queue statistics of a directed link, if any traffic used it.
+  [[nodiscard]] const sim::QueueStats* link_stats(NodeId from, NodeId to) const;
+
+ private:
+  void handle_arrival(net::Packet packet, NodeId node);
+  void forward(net::Packet packet, NodeId from, NodeId to);
+  [[nodiscard]] NodeId route_next_hop(const net::Packet& packet, NodeId node) const;
+  [[nodiscard]] sim::FifoQueue& link_queue(NodeId from, NodeId to);
+
+  const FatTree* topo_;
+  FatTreeSimConfig config_;
+  const EcmpHasher* hasher_;
+  sim::EventQueue events_;
+
+  using LinkKey = std::pair<std::size_t, std::size_t>;
+  std::map<LinkKey, sim::FifoQueue> links_;
+
+  std::unordered_map<std::size_t, std::vector<sim::PacketTap*>> taps_;
+  std::unordered_map<std::size_t, std::vector<NodeAgent*>> agents_;
+  std::unordered_map<std::size_t, timebase::Duration> extra_delay_;
+
+  /// Pinned routes of in-flight reference packets, keyed by packet seq.
+  struct ExplicitRoute {
+    std::vector<NodeId> path;
+    std::size_t position = 0;
+  };
+  std::unordered_map<std::uint64_t, ExplicitRoute> explicit_routes_;
+
+  std::uint64_t next_ref_seq_ = std::uint64_t{1} << 62;
+  FatTreeSimStats stats_;
+};
+
+}  // namespace rlir::topo

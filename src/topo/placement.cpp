@@ -1,0 +1,99 @@
+#include "topo/placement.h"
+
+#include <stdexcept>
+
+namespace rlir::topo {
+
+namespace {
+
+void check_k(int k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("placement: k must be even and >= 2");
+  }
+}
+
+}  // namespace
+
+std::uint64_t rlir_instances(int k, DeploymentGranularity g) {
+  check_k(k);
+  const std::uint64_t uk = static_cast<std::uint64_t>(k);
+  const std::uint64_t half = uk / 2;
+  switch (g) {
+    case DeploymentGranularity::kInterfacePair:
+      // "two measurement instances at k/2 core routers and an instance at
+      // each ToR switch ... In total, we need k + 2 instances."
+      return uk + 2;
+    case DeploymentGranularity::kTorPair:
+      // "k(k+2)/2 instances (k^2/2 at core routers and k at ToR switches)"
+      return uk * (uk + 2) / 2;
+    case DeploymentGranularity::kAllTorPairs:
+      // "(k/2)^2 k instances at all core routers ... and k/2 ToR switches
+      // need to install k/2 measurement instances, totaling (k/2)^2 (k+1)"
+      return half * half * (uk + 1);
+  }
+  throw std::logic_error("rlir_instances: bad granularity");
+}
+
+std::uint64_t full_deployment_instances(int k) {
+  check_k(k);
+  const FatTree topo(k);
+  // Every switch has k interfaces; full RLI instruments every pair of
+  // interfaces along a forwarding path with a sender and a receiver:
+  // 2 * C(k,2) = k(k-1) instances per switch.
+  const std::uint64_t per_switch = static_cast<std::uint64_t>(k) * (k - 1);
+  return per_switch * static_cast<std::uint64_t>(topo.switch_count());
+}
+
+double PlacementRow::savings_ratio() const {
+  if (full_deployment == 0) return 0.0;
+  return static_cast<double>(all_tor_pairs) / static_cast<double>(full_deployment);
+}
+
+PlacementRow placement_row(int k) {
+  PlacementRow row;
+  row.k = k;
+  row.interface_pair = rlir_instances(k, DeploymentGranularity::kInterfacePair);
+  row.tor_pair = rlir_instances(k, DeploymentGranularity::kTorPair);
+  row.all_tor_pairs = rlir_instances(k, DeploymentGranularity::kAllTorPairs);
+  row.full_deployment = full_deployment_instances(k);
+  return row;
+}
+
+PlacementPlan plan_interface_pair(const FatTree& topo, NodeId src_tor, NodeId dst_tor) {
+  if (src_tor.tier != Tier::kTor || dst_tor.tier != Tier::kTor) {
+    throw std::invalid_argument("plan_interface_pair: endpoints must be ToR switches");
+  }
+  if (src_tor.pod == dst_tor.pod) {
+    throw std::invalid_argument(
+        "plan_interface_pair: same-pod pairs do not traverse cores; "
+        "place instances at the pod's edge switches instead");
+  }
+
+  PlacementPlan plan;
+  plan.src_tor = src_tor;
+  plan.dst_tor = dst_tor;
+  plan.instance_nodes.push_back(src_tor);
+  plan.instance_nodes.push_back(dst_tor);
+
+  // A flow between the pair can hash to any edge position and any core under
+  // it; with receivers at every core the upstream segment is path-unique.
+  // Interface-level count per the paper: 2 instances (dual-role) at each of
+  // the k/2 cores reachable via one chosen edge position... the paper's k+2
+  // counts k/2 cores * 2 + 2 ToR instances.
+  const int half = topo.k() / 2;
+  for (int j = 0; j < half; ++j) {
+    // Paper's Figure-1 example pins the sender interface, hence one edge
+    // position; cores under that position.
+    plan.instance_nodes.push_back(topo.core_for(0, j));
+  }
+  plan.instance_count = static_cast<std::uint64_t>(topo.k()) + 2;
+
+  for (int j = 0; j < half; ++j) {
+    const NodeId c = topo.core_for(0, j);
+    plan.segments.push_back(src_tor.name(topo.k()) + "-" + c.name(topo.k()));
+    plan.segments.push_back(c.name(topo.k()) + "-" + dst_tor.name(topo.k()));
+  }
+  return plan;
+}
+
+}  // namespace rlir::topo

@@ -1,0 +1,85 @@
+// Deployment-cost model for RLIR (paper Section 3.1, "Partial Placement
+// Complexity").
+//
+// The paper counts measurement instances (each instance can play the dual
+// role of sender and receiver) for a k-ary fat-tree at three RLIR
+// granularities, against full RLI deployment:
+//
+//   granularity                      instances
+//   one pair of ToR interfaces       k + 2           (2 per core's relevant
+//                                                     interfaces at k/2 cores
+//                                                     + 1 at each ToR)
+//   one pair of ToR switches         k(k+2)/2
+//   every pair of ToR switches       (k/2)^2 (k+1)   ((k/2)^2 k at cores +
+//                                                     (k/2)^2 at ToRs)
+//   full RLI deployment              O(k^4)          (two instances per pair
+//                                                     of interfaces in every
+//                                                     switch)
+//
+// Formulas are implemented exactly as printed; full deployment is also
+// counted exactly from the topology (every switch has k ports; two instances
+// per unordered interface pair) so tests can verify the O(k^4) claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/fattree.h"
+
+namespace rlir::topo {
+
+/// Measurement granularity the operator wants (Section 3.1's three cases).
+enum class DeploymentGranularity : std::uint8_t {
+  kInterfacePair,  ///< one (sender interface, receiver interface) ToR pair
+  kTorPair,        ///< all interface pairs between two ToR switches
+  kAllTorPairs,    ///< per-flow latency between every pair of ToR switches
+};
+
+[[nodiscard]] constexpr const char* to_string(DeploymentGranularity g) {
+  switch (g) {
+    case DeploymentGranularity::kInterfacePair: return "interface-pair";
+    case DeploymentGranularity::kTorPair: return "tor-pair";
+    case DeploymentGranularity::kAllTorPairs: return "all-tor-pairs";
+  }
+  return "?";
+}
+
+/// RLIR instance count at a granularity (paper formulas).
+[[nodiscard]] std::uint64_t rlir_instances(int k, DeploymentGranularity g);
+
+/// Exact full-deployment instance count: two instances per unordered pair of
+/// interfaces, in every ToR/edge/core switch (each has k interfaces).
+[[nodiscard]] std::uint64_t full_deployment_instances(int k);
+
+/// One row of the Section 3.1 comparison.
+struct PlacementRow {
+  int k = 0;
+  std::uint64_t interface_pair = 0;
+  std::uint64_t tor_pair = 0;
+  std::uint64_t all_tor_pairs = 0;
+  std::uint64_t full_deployment = 0;
+  /// all_tor_pairs / full_deployment: the cost reduction RLIR buys.
+  [[nodiscard]] double savings_ratio() const;
+};
+
+[[nodiscard]] PlacementRow placement_row(int k);
+
+/// A concrete plan: which switches host instances for a measurement between
+/// two ToRs (paper example: S1 at T1, R3 at T7, dual-role instances at every
+/// core). Derived from the topology, not the closed forms, so the two can be
+/// cross-checked.
+struct PlacementPlan {
+  NodeId src_tor;
+  NodeId dst_tor;
+  std::vector<NodeId> instance_nodes;  ///< ToRs + cores hosting instances
+  std::uint64_t instance_count = 0;    ///< interface-level instance count
+  /// Segments the path is split into, e.g. "T1-C1" and "C1-T7".
+  std::vector<std::string> segments;
+};
+
+/// Plan for measuring one pair of ToR interfaces across all feasible cores.
+[[nodiscard]] PlacementPlan plan_interface_pair(const FatTree& topo, NodeId src_tor,
+                                                NodeId dst_tor);
+
+}  // namespace rlir::topo

@@ -1,0 +1,44 @@
+// Traffic divider: the first block of the paper's Figure-3 simulator.
+//
+// "The simulator reads a packet trace and classifies packets as either
+// regular traffic ones or cross traffic ones based on IP addresses."
+#pragma once
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/prefix_table.h"
+
+namespace rlir::trace {
+
+class TrafficDivider {
+ public:
+  /// Registers a source-address block carrying regular (measured) traffic.
+  void add_regular(const net::Ipv4Prefix& prefix) {
+    table_.insert(prefix, net::PacketKind::kRegular);
+  }
+
+  /// Registers a source-address block carrying cross traffic.
+  void add_cross(const net::Ipv4Prefix& prefix) {
+    table_.insert(prefix, net::PacketKind::kCross);
+  }
+
+  /// Classifies by longest-prefix match on the source address; packets from
+  /// unregistered blocks default to cross traffic (they are not measured).
+  [[nodiscard]] net::PacketKind classify(const net::Packet& packet) const {
+    const auto kind = table_.lookup(packet.key.src);
+    return kind.value_or(net::PacketKind::kCross);
+  }
+
+  /// Classifies and stamps the packet's kind field.
+  [[nodiscard]] net::Packet divide(net::Packet packet) const {
+    packet.kind = classify(packet);
+    return packet;
+  }
+
+  [[nodiscard]] std::size_t rule_count() const { return table_.size(); }
+
+ private:
+  net::PrefixTable<net::PacketKind> table_;
+};
+
+}  // namespace rlir::trace

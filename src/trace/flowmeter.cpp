@@ -1,0 +1,64 @@
+#include "trace/flowmeter.h"
+
+#include <stdexcept>
+
+namespace rlir::trace {
+
+Flowmeter::Flowmeter(FlowmeterConfig config) : config_(config) {}
+
+void Flowmeter::export_record(const FlowRecord& rec) {
+  ++flows_exported_;
+  if (sink_) {
+    sink_(rec);
+  } else {
+    exported_.push_back(rec);
+  }
+}
+
+void Flowmeter::evict_idle(timebase::TimePoint now) {
+  // Amortized scan: walk the table at most once per idle_timeout period.
+  if (now - last_eviction_scan_ < config_.idle_timeout) return;
+  last_eviction_scan_ = now;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now - it->second.last_ts >= config_.idle_timeout) {
+      export_record(it->second);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Flowmeter::observe(const net::Packet& packet) {
+  if (packet.ts < last_seen_) {
+    throw std::logic_error("Flowmeter::observe: timestamps must be nondecreasing");
+  }
+  last_seen_ = packet.ts;
+  evict_idle(packet.ts);
+
+  ++total_packets_;
+  total_bytes_ += packet.size_bytes;
+
+  auto [it, inserted] = table_.try_emplace(packet.key);
+  FlowRecord& rec = it->second;
+  if (inserted) {
+    rec.key = packet.key;
+    rec.first_ts = packet.ts;
+  } else if (packet.ts - rec.first_ts >= config_.active_timeout) {
+    // Active timeout: export the long-lived flow and restart it, as YAF does.
+    export_record(rec);
+    rec = FlowRecord{};
+    rec.key = packet.key;
+    rec.first_ts = packet.ts;
+  }
+  rec.last_ts = packet.ts;
+  ++rec.packets;
+  rec.bytes += packet.size_bytes;
+}
+
+void Flowmeter::flush() {
+  for (const auto& [key, rec] : table_) export_record(rec);
+  table_.clear();
+}
+
+}  // namespace rlir::trace

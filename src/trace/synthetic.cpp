@@ -1,0 +1,157 @@
+#include "trace/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlir::trace {
+
+double SyntheticConfig::mean_packet_bytes() const {
+  double total_w = 0.0;
+  double total = 0.0;
+  for (const auto& p : size_mix) {
+    total_w += p.weight;
+    total += p.weight * p.bytes;
+  }
+  if (total_w <= 0.0) throw std::invalid_argument("size_mix weights must be positive");
+  return total / total_w;
+}
+
+double SyntheticConfig::flow_arrival_rate() const {
+  const double bytes_per_flow = mean_flow_packets * mean_packet_bytes();
+  return offered_bps / (bytes_per_flow * 8.0);
+}
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticConfig config)
+    : config_(std::move(config)), rng_(config_.seed), next_seq_(config_.first_seq) {
+  if (config_.duration <= timebase::Duration::zero()) {
+    throw std::invalid_argument("SyntheticTraceGenerator: duration must be positive");
+  }
+  if (config_.mean_flow_packets < 1.0) {
+    throw std::invalid_argument("SyntheticTraceGenerator: mean_flow_packets must be >= 1");
+  }
+  if (config_.pareto_alpha <= 1.0) {
+    throw std::invalid_argument(
+        "SyntheticTraceGenerator: pareto_alpha must exceed 1 (finite mean)");
+  }
+  // Precompute the cumulative weights of the size mix for O(log n) draws.
+  double cum = 0.0;
+  for (const auto& p : config_.size_mix) {
+    cum += p.weight;
+    size_cdf_.push_back(cum);
+  }
+  for (auto& c : size_cdf_) c /= cum;
+
+  // Solve for the Pareto scale xm such that the *capped* mean matches the
+  // configured mean flow size: E[min(X, cap)] for Pareto(alpha, xm) is
+  //   xm * (1 + (1/(alpha-1)) * (1 - (xm/cap)^(alpha-1))),
+  // monotone in xm, so bisection converges fast. Without this correction the
+  // cap silently shrinks flows (~40% volume loss at the defaults).
+  {
+    const double alpha = config_.pareto_alpha;
+    const double cap = static_cast<double>(config_.max_flow_packets);
+    const auto capped_mean = [&](double xm) {
+      return xm * (1.0 + (1.0 / (alpha - 1.0)) *
+                             (1.0 - std::pow(xm / cap, alpha - 1.0)));
+    };
+    double lo = 0.0;
+    double hi = config_.mean_flow_packets;
+    for (int i = 0; i < 60; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (capped_mean(mid) < config_.mean_flow_packets ? lo : hi) = mid;
+    }
+    pareto_xm_ = std::max(0.5 * (lo + hi), 1.0);
+  }
+
+  flow_rate_per_ns_ = config_.flow_arrival_rate() / 1e9;
+  // First flow arrives after an exponential delay from t=0.
+  next_flow_arrival_ =
+      timebase::TimePoint::zero() +
+      timebase::Duration(static_cast<std::int64_t>(rng_.exponential(flow_rate_per_ns_)));
+}
+
+std::uint32_t SyntheticTraceGenerator::draw_packet_size() {
+  const double u = rng_.uniform();
+  for (std::size_t i = 0; i < size_cdf_.size(); ++i) {
+    if (u <= size_cdf_[i]) return config_.size_mix[i].bytes;
+  }
+  return config_.size_mix.back().bytes;
+}
+
+net::FiveTuple SyntheticTraceGenerator::draw_flow_key() {
+  net::FiveTuple key;
+  key.src = config_.src_pool.address_at(rng_.uniform_u64(config_.src_pool.size()));
+  key.dst = config_.dst_pool.address_at(rng_.uniform_u64(config_.dst_pool.size()));
+  key.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(64512));
+  key.dst_port = static_cast<std::uint16_t>(rng_.bernoulli(0.5) ? 80 : 443);
+  key.proto = static_cast<std::uint8_t>(rng_.bernoulli(config_.tcp_fraction)
+                                            ? net::IpProto::kTcp
+                                            : net::IpProto::kUdp);
+  return key;
+}
+
+timebase::Duration SyntheticTraceGenerator::draw_gap() {
+  if (config_.burst_probability > 0.0 && rng_.bernoulli(config_.burst_probability)) {
+    return config_.burst_gap;
+  }
+  const double mean_ns = static_cast<double>(config_.mean_packet_gap.ns());
+  return timebase::Duration(static_cast<std::int64_t>(rng_.exponential(1.0 / mean_ns)));
+}
+
+void SyntheticTraceGenerator::start_next_flow() {
+  auto count = static_cast<std::uint64_t>(
+      std::llround(rng_.pareto(config_.pareto_alpha, pareto_xm_)));
+  count = std::max<std::uint64_t>(1, std::min(count, config_.max_flow_packets));
+
+  ActiveFlow flow;
+  flow.next_packet = next_flow_arrival_;
+  flow.remaining = count;
+  flow.key = draw_flow_key();
+  flow.id = flows_started_++;
+  active_.push(flow);
+
+  next_flow_arrival_ +=
+      timebase::Duration(static_cast<std::int64_t>(rng_.exponential(flow_rate_per_ns_)));
+}
+
+std::optional<net::Packet> SyntheticTraceGenerator::next() {
+  const timebase::TimePoint horizon = timebase::TimePoint::zero() + config_.duration;
+  for (;;) {
+    // Admit flow arrivals that precede the earliest pending packet.
+    while (next_flow_arrival_ <= horizon &&
+           (active_.empty() || next_flow_arrival_ <= active_.top().next_packet)) {
+      start_next_flow();
+    }
+    if (active_.empty()) return std::nullopt;
+
+    ActiveFlow flow = active_.top();
+    active_.pop();
+    if (flow.next_packet > horizon) {
+      // This flow's next packet falls past the end of the trace; the flow is
+      // cut (do not reschedule). Loop to check the remaining flows.
+      continue;
+    }
+
+    net::Packet p;
+    p.ts = flow.next_packet;
+    p.injected_at = flow.next_packet;
+    p.key = flow.key;
+    p.size_bytes = draw_packet_size();
+    p.kind = config_.kind;
+    p.seq = next_seq_++;
+    ++packets_emitted_;
+
+    if (--flow.remaining > 0) {
+      flow.next_packet += draw_gap();
+      active_.push(flow);
+    }
+    return p;
+  }
+}
+
+std::vector<net::Packet> SyntheticTraceGenerator::generate_all() {
+  std::vector<net::Packet> out;
+  while (auto p = next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace rlir::trace

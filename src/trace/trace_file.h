@@ -1,0 +1,37 @@
+// Binary trace file format, so generated workloads can be persisted and
+// replayed bit-identically (the paper replays fixed 1-minute traces; we offer
+// the same repeatability without shipping CAIDA data).
+//
+// Layout (little-endian):
+//   header:  magic "RLTR" | u32 version | u64 packet count
+//   records: one fixed-size PacketRecord per packet, in file order
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace rlir::trace {
+
+inline constexpr std::uint32_t kTraceFileVersion = 1;
+
+/// Serializes packets to a stream/file. Throws std::runtime_error on I/O
+/// failure.
+class TraceWriter {
+ public:
+  static void write(std::ostream& out, const std::vector<net::Packet>& packets);
+  static void write_file(const std::string& path, const std::vector<net::Packet>& packets);
+};
+
+/// Deserializes packets. Throws std::runtime_error on malformed input
+/// (bad magic, version mismatch, truncated records).
+class TraceReader {
+ public:
+  [[nodiscard]] static std::vector<net::Packet> read(std::istream& in);
+  [[nodiscard]] static std::vector<net::Packet> read_file(const std::string& path);
+};
+
+}  // namespace rlir::trace

@@ -1,0 +1,148 @@
+// Unit tests: sim/cross_traffic.h — injection models and calibration.
+#include <gtest/gtest.h>
+
+#include "sim/cross_traffic.h"
+
+namespace rlir::sim {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+net::Packet cross_packet(std::int64_t ts_ns, std::uint32_t bytes = 1000) {
+  net::Packet p;
+  p.ts = TimePoint(ts_ns);
+  p.size_bytes = bytes;
+  p.kind = net::PacketKind::kCross;
+  return p;
+}
+
+TEST(CrossTrafficInjector, RejectsBadConfig) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = 1.5;
+  EXPECT_THROW(CrossTrafficInjector{cfg}, std::invalid_argument);
+  cfg.selection_probability = -0.1;
+  EXPECT_THROW(CrossTrafficInjector{cfg}, std::invalid_argument);
+  cfg = CrossTrafficConfig{};
+  cfg.model = CrossModel::kBursty;
+  cfg.burst_on = Duration::zero();
+  EXPECT_THROW(CrossTrafficInjector{cfg}, std::invalid_argument);
+}
+
+TEST(CrossTrafficInjector, UniformAdmitsAtConfiguredRate) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = 0.3;
+  cfg.seed = 1;
+  CrossTrafficInjector injector(cfg);
+  int admitted = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (injector.admit(cross_packet(i))) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / kN, 0.3, 0.01);
+  EXPECT_EQ(injector.offered(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(injector.admitted(), static_cast<std::uint64_t>(admitted));
+}
+
+TEST(CrossTrafficInjector, ProbabilityExtremes) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = 0.0;
+  CrossTrafficInjector none(cfg);
+  cfg.selection_probability = 1.0;
+  CrossTrafficInjector all(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(none.admit(cross_packet(i)));
+    EXPECT_TRUE(all.admit(cross_packet(i)));
+  }
+}
+
+TEST(CrossTrafficInjector, BurstyAdmitsOnlyDuringOnWindows) {
+  CrossTrafficConfig cfg;
+  cfg.model = CrossModel::kBursty;
+  cfg.selection_probability = 1.0;
+  cfg.burst_on = Duration::microseconds(10);
+  cfg.burst_off = Duration::microseconds(30);
+  CrossTrafficInjector injector(cfg);
+
+  // Inside the first ON window.
+  EXPECT_TRUE(injector.admit(cross_packet(0)));
+  EXPECT_TRUE(injector.admit(cross_packet(9'999)));
+  // Inside the OFF window.
+  EXPECT_FALSE(injector.admit(cross_packet(10'000)));
+  EXPECT_FALSE(injector.admit(cross_packet(39'999)));
+  // Next period's ON window.
+  EXPECT_TRUE(injector.admit(cross_packet(40'000)));
+}
+
+TEST(CrossTrafficInjector, DutyCycle) {
+  CrossTrafficConfig cfg;
+  EXPECT_DOUBLE_EQ(CrossTrafficInjector(cfg).duty_cycle(), 1.0);
+  cfg.model = CrossModel::kBursty;
+  cfg.burst_on = Duration::milliseconds(10);
+  cfg.burst_off = Duration::milliseconds(30);
+  EXPECT_DOUBLE_EQ(CrossTrafficInjector(cfg).duty_cycle(), 0.25);
+}
+
+TEST(CrossTrafficInjector, AdmittedBytesAccumulate) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = 1.0;
+  CrossTrafficInjector injector(cfg);
+  (void)injector.admit(cross_packet(0, 100));
+  (void)injector.admit(cross_packet(1, 200));
+  EXPECT_EQ(injector.admitted_bytes(), 300u);
+}
+
+TEST(CrossTrafficInjector, DeterministicPerSeed) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = 0.5;
+  cfg.seed = 77;
+  CrossTrafficInjector a(cfg);
+  CrossTrafficInjector b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.admit(cross_packet(i)), b.admit(cross_packet(i)));
+  }
+}
+
+TEST(SelectionForUtilization, SolvesTheLinearModel) {
+  // capacity: 10G * 1s = 10e9 bits. regular = 2.2e9 bits (0.275e9 bytes).
+  // target 0.67 => cross must add 4.5e9 bits. cross offered 9e9 bits => p=0.5.
+  const double p = selection_for_utilization(0.67, 10e9, timebase::Duration::seconds(1),
+                                             275'000'000, 1'125'000'000);
+  EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+TEST(SelectionForUtilization, ClampsToUnitInterval) {
+  // Regular alone already exceeds the target.
+  EXPECT_DOUBLE_EQ(selection_for_utilization(0.1, 10e9, timebase::Duration::seconds(1),
+                                             2'000'000'000, 1'000'000),
+                   0.0);
+  // Cross cannot reach the target even at p=1.
+  EXPECT_DOUBLE_EQ(
+      selection_for_utilization(0.99, 10e9, timebase::Duration::seconds(1), 0, 1'000),
+      1.0);
+  // No cross traffic at all.
+  EXPECT_DOUBLE_EQ(
+      selection_for_utilization(0.5, 10e9, timebase::Duration::seconds(1), 0, 0), 0.0);
+}
+
+// Property: admitted fraction tracks p across the sweep (uniform model).
+class SelectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectionSweep, AdmitRateMatches) {
+  CrossTrafficConfig cfg;
+  cfg.selection_probability = GetParam();
+  cfg.seed = 5;
+  CrossTrafficInjector injector(cfg);
+  int admitted = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    if (injector.admit(cross_packet(i))) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / kN, GetParam(), 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, SelectionSweep,
+                         ::testing::Values(0.05, 0.15, 0.34, 0.5, 0.67, 0.93));
+
+}  // namespace
+}  // namespace rlir::sim

@@ -1,0 +1,57 @@
+// Unit tests: trace/divider.h — regular/cross classification.
+#include <gtest/gtest.h>
+
+#include "trace/divider.h"
+
+namespace rlir::trace {
+namespace {
+
+net::Packet packet_from(net::Ipv4Address src) {
+  net::Packet p;
+  p.key.src = src;
+  p.kind = net::PacketKind::kRegular;  // pre-set kind must not matter
+  return p;
+}
+
+TEST(TrafficDivider, ClassifiesBySourcePrefix) {
+  TrafficDivider divider;
+  divider.add_regular(net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 16));
+  divider.add_cross(net::Ipv4Prefix(net::Ipv4Address(172, 16, 0, 0), 16));
+
+  EXPECT_EQ(divider.classify(packet_from(net::Ipv4Address(10, 0, 3, 4))),
+            net::PacketKind::kRegular);
+  EXPECT_EQ(divider.classify(packet_from(net::Ipv4Address(172, 16, 9, 9))),
+            net::PacketKind::kCross);
+  EXPECT_EQ(divider.rule_count(), 2u);
+}
+
+TEST(TrafficDivider, UnknownSourceDefaultsToCross) {
+  TrafficDivider divider;
+  divider.add_regular(net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 16));
+  EXPECT_EQ(divider.classify(packet_from(net::Ipv4Address(192, 168, 1, 1))),
+            net::PacketKind::kCross);
+}
+
+TEST(TrafficDivider, LongestPrefixDecides) {
+  TrafficDivider divider;
+  divider.add_cross(net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 8));
+  divider.add_regular(net::Ipv4Prefix(net::Ipv4Address(10, 5, 0, 0), 16));
+  EXPECT_EQ(divider.classify(packet_from(net::Ipv4Address(10, 5, 1, 1))),
+            net::PacketKind::kRegular);
+  EXPECT_EQ(divider.classify(packet_from(net::Ipv4Address(10, 6, 1, 1))),
+            net::PacketKind::kCross);
+}
+
+TEST(TrafficDivider, DivideStampsKind) {
+  TrafficDivider divider;
+  divider.add_regular(net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 8));
+  net::Packet p = packet_from(net::Ipv4Address(10, 1, 1, 1));
+  p.kind = net::PacketKind::kCross;
+  const net::Packet out = divider.divide(p);
+  EXPECT_EQ(out.kind, net::PacketKind::kRegular);
+  // Other fields pass through untouched.
+  EXPECT_EQ(out.key, p.key);
+}
+
+}  // namespace
+}  // namespace rlir::trace

@@ -1,0 +1,134 @@
+// Unit tests: sim/event_queue.h — discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace rlir::sim {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(30), [&] { order.push_back(3); });
+  q.schedule(TimePoint(10), [&] { order.push_back(1); });
+  q.schedule(TimePoint(20), [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(TimePoint(5), [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), TimePoint::zero());
+  q.schedule(TimePoint(100), [&] { EXPECT_EQ(q.now(), TimePoint(100)); });
+  q.run_until_empty();
+  EXPECT_EQ(q.now(), TimePoint(100));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  TimePoint fired;
+  q.schedule(TimePoint(50), [&] {
+    q.schedule_in(Duration(25), [&] { fired = q.now(); });
+  });
+  q.run_until_empty();
+  EXPECT_EQ(fired, TimePoint(75));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(Duration(10), chain);
+  };
+  q.schedule(TimePoint(0), chain);
+  q.run_until_empty();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), TimePoint(40));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(TimePoint(100), [&] {
+    EXPECT_THROW(q.schedule(TimePoint(50), [] {}), std::logic_error);
+  });
+  q.run_until_empty();
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+  q.schedule(TimePoint(1), [] {});
+  EXPECT_TRUE(q.run_next());
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint(10), [&] { fired.push_back(10); });
+  q.schedule(TimePoint(20), [&] { fired.push_back(20); });
+  q.schedule(TimePoint(30), [&] { fired.push_back(30); });
+
+  q.run_until(TimePoint(20));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), TimePoint(20));
+
+  q.run_until_empty();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockOnIdle) {
+  EventQueue q;
+  q.run_until(TimePoint(500));
+  EXPECT_EQ(q.now(), TimePoint(500));
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(TimePoint(1), [] {});
+  q.schedule(TimePoint(2), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered) {
+  EventQueue q;
+  TimePoint last = TimePoint::zero();
+  bool ordered = true;
+  // Pseudo-random times, inserted out of order.
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 20'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const TimePoint t(static_cast<std::int64_t>(x % 1'000'000));
+    q.schedule(t, [&, t] {
+      ordered = ordered && t >= last;
+      last = t;
+    });
+  }
+  q.run_until_empty();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(q.executed(), 20'000u);
+}
+
+}  // namespace
+}  // namespace rlir::sim

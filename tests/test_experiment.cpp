@@ -1,0 +1,118 @@
+// Integration tests: exp/experiment.h — the shared evaluation harness.
+// These run scaled-down versions of the bench configurations and assert the
+// paper's qualitative findings hold (the benches print the full curves).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+
+namespace rlir::exp {
+namespace {
+
+using timebase::Duration;
+
+ExperimentConfig quick(double util, rli::InjectionScheme scheme,
+                       sim::CrossModel model = sim::CrossModel::kUniform) {
+  ExperimentConfig cfg;
+  cfg.duration = Duration::milliseconds(150);
+  cfg.target_utilization = util;
+  cfg.scheme = scheme;
+  cfg.cross_model = model;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(TwoHopExperiment, CalibrationHitsUniformTargets) {
+  for (const double util : {0.34, 0.67, 0.93}) {
+    const auto result = run_two_hop_experiment(quick(util, rli::InjectionScheme::kStatic));
+    EXPECT_NEAR(result.measured_utilization, util, 0.05) << "target " << util;
+  }
+}
+
+TEST(TwoHopExperiment, BurstyCalibrationHitsAverageTarget) {
+  const auto result = run_two_hop_experiment(
+      quick(0.67, rli::InjectionScheme::kStatic, sim::CrossModel::kBursty));
+  EXPECT_NEAR(result.measured_utilization, 0.67, 0.08);
+}
+
+TEST(TwoHopExperiment, TrueDelayRegimesMatchPaperOrdering) {
+  // Paper Section 4.2: 3.0us @67% random, 83us @93% random, 117us @67%
+  // bursty. Assert the ordering and rough magnitudes.
+  const auto low = run_two_hop_experiment(quick(0.67, rli::InjectionScheme::kStatic));
+  const auto high = run_two_hop_experiment(quick(0.93, rli::InjectionScheme::kStatic));
+  const auto bursty = run_two_hop_experiment(
+      quick(0.67, rli::InjectionScheme::kStatic, sim::CrossModel::kBursty));
+
+  EXPECT_LT(low.true_mean_latency_ns, 20'000.0);       // a few us
+  EXPECT_GT(high.true_mean_latency_ns, 30'000.0);      // tens of us
+  EXPECT_GT(bursty.true_mean_latency_ns, 3.0 * low.true_mean_latency_ns);
+}
+
+TEST(TwoHopExperiment, AccuracyOrderingAcrossSchemes) {
+  const auto adaptive = run_two_hop_experiment(quick(0.93, rli::InjectionScheme::kAdaptive));
+  const auto fixed = run_two_hop_experiment(quick(0.93, rli::InjectionScheme::kStatic));
+  ASSERT_GT(adaptive.report.flow_count(), 100u);
+  // 10x the probes: at least as accurate (Figure 4a).
+  EXPECT_LE(adaptive.report.median_mean_error(), fixed.report.median_mean_error() * 1.05);
+  EXPECT_GT(adaptive.references_injected, fixed.references_injected * 5);
+}
+
+TEST(TwoHopExperiment, NoReferencesMeansNoEstimates) {
+  ExperimentConfig cfg = quick(0.67, rli::InjectionScheme::kStatic);
+  cfg.inject_references = false;
+  const auto result = run_two_hop_experiment(cfg);
+  EXPECT_EQ(result.references_injected, 0u);
+  EXPECT_EQ(result.report.flow_count(), 0u);
+  EXPECT_GT(result.regular_packets, 0u);
+}
+
+TEST(TwoHopExperiment, ReferenceLoadIsSmall) {
+  // Even adaptive 1-and-10 keeps probe overhead well under 1% of bytes
+  // (64B probes vs ~730B data packets).
+  const auto result = run_two_hop_experiment(quick(0.9, rli::InjectionScheme::kAdaptive));
+  const double probe_bytes = static_cast<double>(result.references_injected) * 64.0;
+  const double data_bytes = static_cast<double>(result.regular_packets) * 700.0;
+  EXPECT_LT(probe_bytes / data_bytes, 0.02);
+}
+
+TEST(TwoHopExperiment, LabelsAreDescriptive) {
+  EXPECT_EQ(quick(0.93, rli::InjectionScheme::kAdaptive).label(), "adaptive, random, 93%");
+  EXPECT_EQ(quick(0.34, rli::InjectionScheme::kStatic, sim::CrossModel::kBursty).label(),
+            "static, bursty, 34%");
+}
+
+TEST(FatTreeExperiment, ReverseEcmpAndMarkingAgree) {
+  FatTreeExperimentConfig cfg;
+  cfg.duration = Duration::milliseconds(15);
+  cfg.core_delay_step = Duration::microseconds(20);
+
+  cfg.demux = DemuxStrategy::kReverseEcmp;
+  const auto ecmp = run_fattree_downstream_experiment(cfg);
+  cfg.demux = DemuxStrategy::kMarking;
+  const auto marking = run_fattree_downstream_experiment(cfg);
+
+  ASSERT_GT(ecmp.report.flow_count(), 50u);
+  EXPECT_EQ(ecmp.unclassified_packets, 0u);
+  EXPECT_EQ(marking.unclassified_packets, 0u);
+  // Both are exact path attributions: identical flow sets, near-identical
+  // accuracy.
+  EXPECT_EQ(ecmp.report.flow_count(), marking.report.flow_count());
+  EXPECT_NEAR(ecmp.report.median_mean_error(), marking.report.median_mean_error(), 1e-9);
+}
+
+TEST(FatTreeExperiment, NoDemuxIsMuchWorseUnderAsymmetry) {
+  FatTreeExperimentConfig cfg;
+  cfg.duration = Duration::milliseconds(15);
+  cfg.core_delay_step = Duration::microseconds(20);
+
+  cfg.demux = DemuxStrategy::kReverseEcmp;
+  const auto good = run_fattree_downstream_experiment(cfg);
+  cfg.demux = DemuxStrategy::kNone;
+  const auto bad = run_fattree_downstream_experiment(cfg);
+
+  // Section 3.1's motivation: without demux the estimates are "totally
+  // wrong" — an order of magnitude worse here.
+  EXPECT_GT(bad.report.median_mean_error(), 5.0 * good.report.median_mean_error());
+}
+
+}  // namespace
+}  // namespace rlir::exp

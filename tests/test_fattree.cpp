@@ -1,0 +1,191 @@
+// Unit tests: topo/fattree.h — topology structure and addressing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/fattree.h"
+
+namespace rlir::topo {
+namespace {
+
+TEST(FatTree, RejectsInvalidK) {
+  EXPECT_THROW(FatTree(0), std::invalid_argument);
+  EXPECT_THROW(FatTree(3), std::invalid_argument);
+  EXPECT_THROW(FatTree(-4), std::invalid_argument);
+  EXPECT_THROW(FatTree(256), std::invalid_argument);
+}
+
+TEST(FatTree, K4CountsMatchPaperFigure1) {
+  // The paper's Figure 1: 8 ToRs (T1..T8), 8 edges (E1..E8), 4 cores.
+  const FatTree topo(4);
+  EXPECT_EQ(topo.tor_count(), 8);
+  EXPECT_EQ(topo.edge_count(), 8);
+  EXPECT_EQ(topo.core_count(), 4);
+  EXPECT_EQ(topo.switch_count(), 20);
+  EXPECT_EQ(topo.pods(), 4);
+  EXPECT_EQ(topo.tors_per_pod(), 2);
+  EXPECT_EQ(topo.host_count(), 16);
+}
+
+TEST(FatTree, PaperNodeNames) {
+  const FatTree topo(4);
+  EXPECT_EQ(topo.tor(0, 0).name(4), "T1");
+  EXPECT_EQ(topo.tor(0, 1).name(4), "T2");
+  EXPECT_EQ(topo.tor(3, 0).name(4), "T7");
+  EXPECT_EQ(topo.tor(3, 1).name(4), "T8");
+  EXPECT_EQ(topo.edge(0, 0).name(4), "E1");
+  EXPECT_EQ(topo.edge(3, 1).name(4), "E8");
+  EXPECT_EQ(topo.core(0).name(4), "C1");
+  EXPECT_EQ(topo.core(3).name(4), "C4");
+}
+
+TEST(FatTree, NodeAccessorsValidateRanges) {
+  const FatTree topo(4);
+  EXPECT_THROW((void)topo.tor(4, 0), std::out_of_range);
+  EXPECT_THROW((void)topo.tor(0, 2), std::out_of_range);
+  EXPECT_THROW((void)topo.edge(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)topo.core(4), std::out_of_range);
+  EXPECT_THROW((void)topo.core_for(2, 0), std::out_of_range);
+  EXPECT_THROW((void)topo.edge_position_for_core(7), std::out_of_range);
+}
+
+TEST(FatTree, CoreEdgePositionConsistency) {
+  const FatTree topo(8);
+  for (int c = 0; c < topo.core_count(); ++c) {
+    const int pos = topo.edge_position_for_core(c);
+    bool found = false;
+    for (int j = 0; j < topo.k() / 2; ++j) {
+      if (topo.core_for(pos, j) == topo.core(c)) found = true;
+    }
+    EXPECT_TRUE(found) << "core " << c;
+  }
+}
+
+TEST(FatTree, AdjacencyRules) {
+  const FatTree topo(4);
+  // ToR <-> edge within the same pod only.
+  EXPECT_TRUE(topo.adjacent(topo.tor(0, 0), topo.edge(0, 0)));
+  EXPECT_TRUE(topo.adjacent(topo.edge(0, 1), topo.tor(0, 0)));  // symmetric
+  EXPECT_FALSE(topo.adjacent(topo.tor(0, 0), topo.edge(1, 0)));
+  // Edge <-> core only at the matching position.
+  EXPECT_TRUE(topo.adjacent(topo.edge(0, 0), topo.core(0)));
+  EXPECT_TRUE(topo.adjacent(topo.edge(0, 0), topo.core(1)));
+  EXPECT_FALSE(topo.adjacent(topo.edge(0, 0), topo.core(2)));
+  EXPECT_TRUE(topo.adjacent(topo.edge(0, 1), topo.core(2)));
+  // No ToR-core or same-tier links.
+  EXPECT_FALSE(topo.adjacent(topo.tor(0, 0), topo.core(0)));
+  EXPECT_FALSE(topo.adjacent(topo.tor(0, 0), topo.tor(0, 1)));
+  EXPECT_FALSE(topo.adjacent(topo.core(0), topo.core(1)));
+}
+
+TEST(FatTree, NeighborsMatchAdjacency) {
+  const FatTree topo(4);
+  const auto check = [&](NodeId node, std::size_t expected) {
+    const auto neighbors = topo.neighbors(node);
+    EXPECT_EQ(neighbors.size(), expected) << node.name(4);
+    for (const auto& n : neighbors) {
+      EXPECT_TRUE(topo.adjacent(node, n)) << node.name(4) << "-" << n.name(4);
+    }
+  };
+  check(topo.tor(0, 0), 2);   // k/2 edges
+  check(topo.edge(0, 0), 4);  // k/2 tors + k/2 cores
+  check(topo.core(0), 4);     // one edge per pod
+}
+
+TEST(FatTree, HostAddressing) {
+  const FatTree topo(4);
+  const auto t1 = topo.tor(0, 0);
+  EXPECT_EQ(topo.host_prefix(t1).to_string(), "10.0.0.0/24");
+  EXPECT_EQ(topo.host_prefix(topo.tor(3, 1)).to_string(), "10.3.1.0/24");
+  EXPECT_EQ(topo.host_address(t1, 0), net::Ipv4Address(10, 0, 0, 1));
+  EXPECT_THROW((void)topo.host_address(t1, 254), std::out_of_range);
+  EXPECT_THROW((void)topo.host_prefix(topo.core(0)), std::invalid_argument);
+}
+
+TEST(FatTree, TorForAddressInvertsHostAddress) {
+  const FatTree topo(4);
+  for (int pod = 0; pod < topo.pods(); ++pod) {
+    for (int t = 0; t < topo.tors_per_pod(); ++t) {
+      const auto tor = topo.tor(pod, t);
+      EXPECT_EQ(topo.tor_for_address(topo.host_address(tor, 3)), tor);
+    }
+  }
+  EXPECT_FALSE(topo.tor_for_address(net::Ipv4Address(11, 0, 0, 1)));
+  EXPECT_FALSE(topo.tor_for_address(net::Ipv4Address(10, 5, 0, 1)));  // pod 5 absent
+  EXPECT_FALSE(topo.tor_for_address(net::Ipv4Address(10, 0, 2, 1)));  // tor 2 absent
+}
+
+TEST(FatTree, PathsBetweenSameTor) {
+  const FatTree topo(4);
+  const auto paths = topo.paths_between(topo.tor(0, 0), topo.tor(0, 0));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 1u);
+}
+
+TEST(FatTree, PathsBetweenSamePod) {
+  const FatTree topo(4);
+  const auto paths = topo.paths_between(topo.tor(0, 0), topo.tor(0, 1));
+  ASSERT_EQ(paths.size(), 2u);  // k/2
+  for (const auto& path : paths) {
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[1].tier, Tier::kEdge);
+    EXPECT_TRUE(topo.adjacent(path[0], path[1]));
+    EXPECT_TRUE(topo.adjacent(path[1], path[2]));
+  }
+}
+
+TEST(FatTree, PathsBetweenCrossPod) {
+  const FatTree topo(4);
+  const auto paths = topo.paths_between(topo.tor(0, 0), topo.tor(3, 0));
+  ASSERT_EQ(paths.size(), 4u);  // (k/2)^2
+  std::set<int> cores_used;
+  for (const auto& path : paths) {
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path[2].tier, Tier::kCore);
+    cores_used.insert(path[2].index);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(topo.adjacent(path[i], path[i + 1]));
+    }
+  }
+  EXPECT_EQ(cores_used.size(), 4u);  // every core reachable
+}
+
+TEST(FatTree, UpwardAndDownwardPathsAreUniqueAndValid) {
+  const FatTree topo(4);
+  const auto up = topo.upward_path(topo.tor(0, 0), topo.core(2));
+  ASSERT_EQ(up.size(), 3u);
+  EXPECT_EQ(up[1], topo.edge(0, 1));  // core 2 hangs off edge position 1
+  const auto down = topo.downward_path(topo.core(2), topo.tor(3, 0));
+  ASSERT_EQ(down.size(), 3u);
+  EXPECT_EQ(down[1], topo.edge(3, 1));
+}
+
+// Sweep: structural invariants hold across fabric sizes.
+class FatTreeSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSizeSweep, CountsAndFlatIndexRoundTrip) {
+  const int k = GetParam();
+  const FatTree topo(k);
+  EXPECT_EQ(topo.tor_count(), k * k / 2);
+  EXPECT_EQ(topo.edge_count(), k * k / 2);
+  EXPECT_EQ(topo.core_count(), k * k / 4);
+
+  for (std::size_t flat = 0; flat < static_cast<std::size_t>(topo.switch_count()); ++flat) {
+    const NodeId node = topo.from_flat_index(flat);
+    EXPECT_EQ(topo.flat_index(node), flat);
+  }
+  EXPECT_THROW((void)topo.from_flat_index(static_cast<std::size_t>(topo.switch_count())),
+               std::out_of_range);
+}
+
+TEST_P(FatTreeSizeSweep, CrossPodPathCount) {
+  const int k = GetParam();
+  const FatTree topo(k);
+  const auto paths = topo.paths_between(topo.tor(0, 0), topo.tor(k - 1, 0));
+  EXPECT_EQ(paths.size(), static_cast<std::size_t>((k / 2) * (k / 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeSizeSweep, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace rlir::topo

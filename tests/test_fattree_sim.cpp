@@ -1,0 +1,256 @@
+// Unit tests: topo/fattree_sim.h — event-driven fabric simulation.
+#include <gtest/gtest.h>
+
+#include "rlir/sender_agent.h"
+#include "sim/tap.h"
+#include "timebase/clock.h"
+#include "topo/fattree_sim.h"
+#include "trace/synthetic.h"
+
+namespace rlir::topo {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+class FatTreeSimTest : public ::testing::Test {
+ protected:
+  FatTreeSimTest() : topo_(4) {}
+
+  net::Packet host_packet(NodeId src_tor, NodeId dst_tor, std::uint64_t seq,
+                          std::int64_t ts_ns = 0, std::uint16_t sport = 1234) {
+    net::Packet p;
+    p.key.src = topo_.host_address(src_tor, 1);
+    p.key.dst = topo_.host_address(dst_tor, 1);
+    p.key.src_port = sport;
+    p.key.dst_port = 80;
+    p.seq = seq;
+    p.size_bytes = 1000;
+    p.ts = TimePoint(ts_ns);
+    p.kind = net::PacketKind::kRegular;
+    return p;
+  }
+
+  FatTree topo_;
+  Crc32EcmpHasher hasher_;
+};
+
+TEST_F(FatTreeSimTest, ValidatesConstruction) {
+  EXPECT_THROW(FatTreeSim(nullptr, FatTreeSimConfig{}, &hasher_), std::invalid_argument);
+  EXPECT_THROW(FatTreeSim(&topo_, FatTreeSimConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST_F(FatTreeSimTest, RejectsForeignSourceAddress) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  net::Packet p = host_packet(topo_.tor(0, 0), topo_.tor(1, 0), 1);
+  p.key.src = net::Ipv4Address(192, 168, 0, 1);
+  EXPECT_THROW(sim.inject_from_host(p), std::invalid_argument);
+}
+
+TEST_F(FatTreeSimTest, DeliversCrossPodPacket) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  sim.inject_from_host(host_packet(topo_.tor(0, 0), topo_.tor(3, 0), 1));
+  sim.run();
+  EXPECT_EQ(sim.stats().delivered_regular, 1u);
+  EXPECT_EQ(sim.stats().dropped, 0u);
+  // Cross-pod: ToR -> edge -> core -> edge -> ToR = 4 link hops.
+  EXPECT_EQ(sim.stats().forwarded_hops, 4u);
+}
+
+TEST_F(FatTreeSimTest, DeliversSamePodPacket) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  sim.inject_from_host(host_packet(topo_.tor(0, 0), topo_.tor(0, 1), 1));
+  sim.run();
+  EXPECT_EQ(sim.stats().delivered_regular, 1u);
+  EXPECT_EQ(sim.stats().forwarded_hops, 2u);  // ToR -> edge -> ToR
+}
+
+TEST_F(FatTreeSimTest, ArrivalTapsFireAlongThePath) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  const auto src = topo_.tor(0, 0);
+  const auto dst = topo_.tor(3, 0);
+  const auto pkt = host_packet(src, dst, 1);
+  const auto route = ecmp_route(topo_, hasher_, pkt.key, src, dst);
+
+  std::vector<sim::RecordingTap> taps(route.size());
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    sim.add_arrival_tap(route[i], &taps[i]);
+  }
+  sim.inject_from_host(pkt);
+  sim.run();
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    EXPECT_EQ(taps[i].packets().size(), 1u) << "hop " << i;
+  }
+  // Arrival times strictly increase along the path.
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    EXPECT_GT(taps[i].packets()[0].ts, taps[i - 1].packets()[0].ts);
+  }
+}
+
+TEST_F(FatTreeSimTest, DelayGrowsWithInjectedAnomaly) {
+  const auto src = topo_.tor(0, 0);
+  const auto dst = topo_.tor(3, 0);
+  const auto pkt = host_packet(src, dst, 1);
+  const auto route = ecmp_route(topo_, hasher_, pkt.key, src, dst);
+  const NodeId via_core = route[2];
+
+  const auto delay_through = [&](Duration extra) {
+    FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+    if (extra > Duration::zero()) sim.add_extra_delay(via_core, extra);
+    sim::RecordingTap tap;
+    sim.add_arrival_tap(dst, &tap);
+    sim.inject_from_host(pkt);
+    sim.run();
+    return tap.packets().at(0).true_delay();
+  };
+
+  const auto base = delay_through(Duration::zero());
+  const auto slowed = delay_through(Duration::microseconds(40));
+  EXPECT_NEAR(static_cast<double>((slowed - base).ns()), 40'000.0, 100.0);
+}
+
+TEST_F(FatTreeSimTest, CoreMarkingStampsTos) {
+  FatTreeSimConfig cfg;
+  cfg.core_marking = true;
+  FatTreeSim sim(&topo_, cfg, &hasher_);
+  const auto src = topo_.tor(0, 0);
+  const auto dst = topo_.tor(3, 0);
+  const auto pkt = host_packet(src, dst, 1);
+  const auto route = ecmp_route(topo_, hasher_, pkt.key, src, dst);
+
+  sim::RecordingTap tap;
+  sim.add_arrival_tap(dst, &tap);
+  sim.inject_from_host(pkt);
+  sim.run();
+  ASSERT_EQ(tap.packets().size(), 1u);
+  EXPECT_EQ(static_cast<int>(tap.packets()[0].tos), route[2].index + 1);
+}
+
+TEST_F(FatTreeSimTest, MarkingDisabledLeavesTosZero) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  sim::RecordingTap tap;
+  sim.add_arrival_tap(topo_.tor(3, 0), &tap);
+  sim.inject_from_host(host_packet(topo_.tor(0, 0), topo_.tor(3, 0), 1));
+  sim.run();
+  ASSERT_EQ(tap.packets().size(), 1u);
+  EXPECT_EQ(tap.packets()[0].tos, 0);
+}
+
+TEST_F(FatTreeSimTest, ReferencePacketsFollowPinnedRouteAndAreConsumed) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  const auto tor = topo_.tor(0, 0);
+  const auto core = topo_.core(3);
+
+  sim::RecordingTap core_tap;
+  sim.add_arrival_tap(core, &core_tap);
+  sim::RecordingTap other_core_tap;
+  sim.add_arrival_tap(topo_.core(0), &other_core_tap);
+
+  auto ref = net::make_reference_packet(1, TimePoint(0), TimePoint(0),
+                                        sim.allocate_ref_seq());
+  sim.inject_reference(ref, tor, core);
+  sim.run();
+
+  EXPECT_EQ(core_tap.packets().size(), 1u);
+  EXPECT_TRUE(other_core_tap.packets().empty());
+  EXPECT_EQ(sim.stats().delivered_reference, 1u);
+}
+
+TEST_F(FatTreeSimTest, ReferenceRouteValidation) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  auto ref = net::make_reference_packet(1, TimePoint(0), TimePoint(0), 1);
+  // ToR -> ToR probes are not a supported segment shape.
+  EXPECT_THROW(sim.inject_reference(ref, topo_.tor(0, 0), topo_.tor(1, 0)),
+               std::invalid_argument);
+}
+
+TEST_F(FatTreeSimTest, LinkStatsExposeTraffic) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  const auto src = topo_.tor(0, 0);
+  const auto dst = topo_.tor(3, 0);
+  const auto pkt = host_packet(src, dst, 1);
+  const auto route = ecmp_route(topo_, hasher_, pkt.key, src, dst);
+  sim.inject_from_host(pkt);
+  sim.run();
+  const auto* stats = sim.link_stats(route[0], route[1]);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->arrived_packets, 1u);
+  EXPECT_EQ(sim.link_stats(topo_.tor(1, 0), topo_.edge(1, 0)), nullptr);  // unused link
+}
+
+TEST_F(FatTreeSimTest, ManyFlowsAllAccounted) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  trace::SyntheticConfig cfg;
+  cfg.duration = Duration::milliseconds(5);
+  cfg.offered_bps = 2e9;
+  cfg.seed = 77;
+  cfg.src_pool = topo_.host_prefix(topo_.tor(0, 0));
+  cfg.dst_pool = topo_.host_prefix(topo_.tor(2, 1));
+  const auto packets = trace::SyntheticTraceGenerator(cfg).generate_all();
+  for (const auto& p : packets) sim.inject_from_host(p);
+  sim.run();
+  EXPECT_EQ(sim.stats().injected, packets.size());
+  EXPECT_EQ(sim.stats().delivered_regular + sim.stats().dropped, packets.size());
+}
+
+TEST_F(FatTreeSimTest, TorSenderAgentValidation) {
+  timebase::PerfectClock clock;
+  rli::SenderConfig cfg;
+  EXPECT_THROW(
+      rlir::TorSenderAgent(cfg, &clock, std::vector<NodeId>{topo_.tor(0, 0)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      rlir::CoreSenderAgent(cfg, &clock, std::vector<NodeId>{topo_.core(0)}),
+      std::invalid_argument);
+  EXPECT_THROW(rlir::CoreSenderAgent(cfg, nullptr, std::vector<NodeId>{topo_.tor(0, 0)}),
+               std::invalid_argument);
+}
+
+TEST_F(FatTreeSimTest, TorSenderAgentInjectsPerTargetProbes) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  timebase::PerfectClock clock;
+  rli::SenderConfig cfg;
+  cfg.static_gap = 10;
+  const std::vector<NodeId> targets = {topo_.core(0), topo_.core(1)};
+  rlir::TorSenderAgent agent(cfg, &clock, targets);
+  sim.add_agent(topo_.tor(0, 0), &agent);
+
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    sim.inject_from_host(host_packet(topo_.tor(0, 0), topo_.tor(3, 0), i,
+                                     static_cast<std::int64_t>(i) * 10'000,
+                                     static_cast<std::uint16_t>(i)));
+  }
+  sim.run();
+  // 100 packets / gap 10 = 10 rounds x 2 targets.
+  EXPECT_EQ(agent.probes_sent(), 20u);
+  EXPECT_EQ(sim.stats().delivered_reference, 20u);
+}
+
+TEST_F(FatTreeSimTest, CoreSenderAgentPacesPerDestination) {
+  FatTreeSim sim(&topo_, FatTreeSimConfig{}, &hasher_);
+  timebase::PerfectClock clock;
+  rli::SenderConfig cfg;
+  cfg.static_gap = 10;
+  // Agents at every core so path choice does not matter.
+  std::vector<std::unique_ptr<rlir::CoreSenderAgent>> agents;
+  const std::vector<NodeId> targets = {topo_.tor(3, 0)};
+  for (int c = 0; c < topo_.core_count(); ++c) {
+    agents.push_back(std::make_unique<rlir::CoreSenderAgent>(cfg, &clock, targets));
+    sim.add_agent(topo_.core(c), agents.back().get());
+  }
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim.inject_from_host(host_packet(topo_.tor(0, 0), topo_.tor(3, 0), i,
+                                     static_cast<std::int64_t>(i) * 10'000,
+                                     static_cast<std::uint16_t>(i)));
+  }
+  sim.run();
+  std::uint64_t probes = 0;
+  for (const auto& agent : agents) probes += agent->probes_sent();
+  // 200 transit packets / gap 10, distributed over cores: ~20 total probes
+  // (each core rounds down its own share).
+  EXPECT_GE(probes, 12u);
+  EXPECT_LE(probes, 20u);
+}
+
+}  // namespace
+}  // namespace rlir::topo

@@ -1,0 +1,109 @@
+// Unit tests: net/flow_key.h and net/packet.h — flow keys and packets.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "net/flow_key.h"
+#include "net/packet.h"
+
+namespace rlir::net {
+namespace {
+
+FiveTuple sample_key() {
+  FiveTuple key;
+  key.src = Ipv4Address(10, 0, 0, 1);
+  key.dst = Ipv4Address(10, 3, 0, 2);
+  key.src_port = 44'321;
+  key.dst_port = 443;
+  key.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  return key;
+}
+
+TEST(FiveTuple, EqualityAndOrdering) {
+  const FiveTuple a = sample_key();
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 80;
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  const FiveTuple base = sample_key();
+  std::set<std::uint64_t> hashes{base.hash()};
+
+  FiveTuple v = base;
+  v.src = Ipv4Address(10, 0, 0, 2);
+  hashes.insert(v.hash());
+  v = base;
+  v.dst = Ipv4Address(10, 3, 0, 3);
+  hashes.insert(v.hash());
+  v = base;
+  v.src_port = 1;
+  hashes.insert(v.hash());
+  v = base;
+  v.dst_port = 80;
+  hashes.insert(v.hash());
+  v = base;
+  v.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  hashes.insert(v.hash());
+
+  EXPECT_EQ(hashes.size(), 6u);  // base + 5 single-field variants, all distinct
+}
+
+TEST(FiveTuple, StdHashIntegration) {
+  std::unordered_set<FiveTuple> set;
+  set.insert(sample_key());
+  set.insert(sample_key());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FiveTuple, ToStringFormat) {
+  EXPECT_EQ(sample_key().to_string(), "10.0.0.1:44321>10.3.0.2:443/6");
+}
+
+TEST(Packet, TrueDelay) {
+  Packet p;
+  p.injected_at = timebase::TimePoint(1'000);
+  p.ts = timebase::TimePoint(3'500);
+  EXPECT_EQ(p.true_delay().ns(), 2'500);
+}
+
+TEST(Packet, MakeReferencePacket) {
+  const auto ref = make_reference_packet(/*id=*/7, timebase::TimePoint(100),
+                                         timebase::TimePoint(105), /*seq=*/42);
+  EXPECT_TRUE(ref.is_reference());
+  EXPECT_EQ(ref.kind, PacketKind::kReference);
+  EXPECT_EQ(ref.sender, 7);
+  EXPECT_EQ(ref.seq, 42u);
+  EXPECT_EQ(ref.ts, timebase::TimePoint(100));
+  EXPECT_EQ(ref.injected_at, timebase::TimePoint(100));
+  EXPECT_EQ(ref.ref_stamp, timebase::TimePoint(105));  // skewed clock stamp
+  EXPECT_EQ(ref.size_bytes, 64u);
+
+  const auto big = make_reference_packet(1, timebase::TimePoint(0), timebase::TimePoint(0),
+                                         0, /*size=*/128);
+  EXPECT_EQ(big.size_bytes, 128u);
+}
+
+TEST(Packet, KindToString) {
+  EXPECT_STREQ(to_string(PacketKind::kRegular), "regular");
+  EXPECT_STREQ(to_string(PacketKind::kCross), "cross");
+  EXPECT_STREQ(to_string(PacketKind::kReference), "reference");
+}
+
+TEST(Packet, ToStringMentionsKindAndSender) {
+  const auto ref =
+      make_reference_packet(3, timebase::TimePoint(0), timebase::TimePoint(0), 9);
+  const std::string s = ref.to_string();
+  EXPECT_NE(s.find("reference"), std::string::npos);
+  EXPECT_NE(s.find("sender=3"), std::string::npos);
+
+  Packet regular;
+  regular.kind = PacketKind::kRegular;
+  EXPECT_NE(regular.to_string().find("regular"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlir::net

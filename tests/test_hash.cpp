@@ -1,0 +1,129 @@
+// Unit tests: net/hash.h — hash primitives.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string_view>
+
+#include "net/hash.h"
+
+namespace rlir::net {
+namespace {
+
+std::span<const std::byte> bytes_of(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+TEST(Crc32c, KnownTestVector) {
+  // The canonical CRC-32C check value: crc32c("123456789") = 0xE3069283.
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(crc32c(bytes_of("")), 0u);
+}
+
+TEST(Crc32c, SeedChaining) {
+  // Hashing "ab" then "cd" with chaining equals hashing "abcd".
+  const auto first = crc32c(bytes_of("ab"));
+  const auto chained = crc32c(bytes_of("cd"), first);
+  EXPECT_EQ(chained, crc32c(bytes_of("abcd")));
+}
+
+TEST(Fnv1a64, StableKnownValue) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(fnv1a64(bytes_of("")), 0xcbf29ce484222325ULL);
+  // "a" = basis ^ 'a' * prime (well-known value).
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a64, ValueOverload) {
+  const std::uint32_t v = 0x12345678;
+  const auto h1 = fnv1a64_value(v);
+  const auto h2 = fnv1a64_value(v);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, fnv1a64_value(std::uint32_t{0x12345679}));
+}
+
+TEST(JenkinsLookup3, DeterministicAndSeedSensitive) {
+  const auto a = jenkins_lookup3(bytes_of("hello world"));
+  EXPECT_EQ(a, jenkins_lookup3(bytes_of("hello world")));
+  EXPECT_NE(a, jenkins_lookup3(bytes_of("hello world"), 1));
+  EXPECT_NE(a, jenkins_lookup3(bytes_of("hello worle")));
+}
+
+TEST(JenkinsLookup3, AllLengthsUpTo32) {
+  // Exercises every tail-length branch (1..12+ bytes).
+  std::set<std::uint32_t> hashes;
+  std::string s;
+  for (int len = 0; len <= 32; ++len) {
+    hashes.insert(jenkins_lookup3(bytes_of(s)));
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  // All 33 prefixes should hash distinctly (no collisions expected here).
+  EXPECT_EQ(hashes.size(), 33u);
+}
+
+TEST(XorFold16, FoldsHalves) {
+  EXPECT_EQ(xor_fold16(0x12345678u), 0x1234u ^ 0x5678u);
+  EXPECT_EQ(xor_fold16(0xffff0000u), 0xffffu);
+  EXPECT_EQ(xor_fold16(0u), 0u);
+}
+
+TEST(Mix64, BijectiveSample) {
+  // mix64 is a bijection; sampled values must be distinct and non-trivial.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    seen.insert(mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10'000u);
+  EXPECT_EQ(mix64(0), 0u);  // the SplitMix64 finalizer fixes zero
+  EXPECT_NE(mix64(1), 0u);
+}
+
+TEST(Mix64, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const std::uint64_t a = mix64(0x0123456789abcdefULL);
+    const std::uint64_t b = mix64(0x0123456789abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+// Distribution sweep: each hash spreads sequential inputs evenly over 16
+// bins (the property ECMP and LDA bucketing rely on).
+enum class HashKind { kCrc, kJenkins, kFnv };
+
+class HashDistributionSweep : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashDistributionSweep, BalancedBins) {
+  constexpr int kBins = 16;
+  constexpr int kN = 64'000;
+  std::vector<int> bins(kBins, 0);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto data = std::as_bytes(std::span<const std::uint64_t, 1>(&i, 1));
+    std::uint64_t h = 0;
+    switch (GetParam()) {
+      case HashKind::kCrc: h = crc32c(data); break;
+      case HashKind::kJenkins: h = jenkins_lookup3(data); break;
+      case HashKind::kFnv: h = fnv1a64(data); break;
+    }
+    ++bins[h % kBins];
+  }
+  const double expected = static_cast<double>(kN) / kBins;
+  for (const int count : bins) {
+    EXPECT_NEAR(count, expected, expected * 0.10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, HashDistributionSweep,
+                         ::testing::Values(HashKind::kCrc, HashKind::kJenkins,
+                                           HashKind::kFnv));
+
+}  // namespace
+}  // namespace rlir::net

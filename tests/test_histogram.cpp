@@ -1,0 +1,93 @@
+// Unit tests: common/histogram.h — log-scale histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+
+namespace rlir::common {
+namespace {
+
+TEST(LogHistogram, RejectsBadConfig) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(-1.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, BucketCountCoversRange) {
+  // 1..1e6 with 10 buckets/decade = 60 buckets.
+  const LogHistogram h(1.0, 1e6, 10);
+  EXPECT_EQ(h.bucket_count(), 60u);
+}
+
+TEST(LogHistogram, UnderflowAndOverflow) {
+  LogHistogram h(10.0, 1000.0, 10);
+  h.record(5.0);
+  h.record(2000.0);
+  h.record(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(LogHistogram, NanGoesToUnderflow) {
+  LogHistogram h(1.0, 100.0, 5);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(LogHistogram, BucketEdgesAreGeometric) {
+  const LogHistogram h(1.0, 1000.0, 1);  // one bucket per decade
+  EXPECT_NEAR(h.bucket_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lower(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lower(2), 100.0, 1e-9);
+  // Geometric midpoint of [1,10) is sqrt(10).
+  EXPECT_NEAR(h.bucket_mid(0), std::sqrt(10.0), 1e-9);
+}
+
+TEST(LogHistogram, RecordPlacesInRightBucket) {
+  LogHistogram h(1.0, 1000.0, 1);
+  h.record(2.0);    // decade [1,10)
+  h.record(20.0);   // decade [10,100)
+  h.record(200.0);  // decade [100,1000)
+  h.record(3.0);
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+}
+
+TEST(LogHistogram, WeightedRecord) {
+  LogHistogram h(1.0, 100.0, 1);
+  h.record(5.0, 10);
+  EXPECT_EQ(h.total_count(), 10u);
+  EXPECT_EQ(h.bucket_value(0), 10u);
+}
+
+TEST(LogHistogram, QuantileApproximatesDistribution) {
+  LogHistogram h(1.0, 1e6, 20);
+  // 1000 values at 100, 1000 at 10000.
+  for (int i = 0; i < 1000; ++i) h.record(100.0);
+  for (int i = 0; i < 1000; ++i) h.record(10000.0);
+  EXPECT_NEAR(h.quantile(0.25), 100.0, 15.0);
+  EXPECT_NEAR(h.quantile(0.75), 10000.0, 1500.0);
+  EXPECT_EQ(h.quantile(0.0), h.quantile(-1.0));  // clamped
+}
+
+TEST(LogHistogram, QuantileOnEmpty) {
+  const LogHistogram h(1.0, 100.0, 5);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, ToStringListsNonEmptyBuckets) {
+  LogHistogram h(1.0, 1000.0, 1);
+  h.record(0.5);
+  h.record(50.0);
+  h.record(5000.0);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("<"), std::string::npos);
+  EXPECT_NE(s.find(">=top"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlir::common

@@ -1,0 +1,138 @@
+// End-to-end integration tests of the Figure-3 pipeline: synthetic traffic,
+// RLI sender/receiver, cross traffic, ground truth comparison.
+#include <gtest/gtest.h>
+
+#include "rli/flow_stats.h"
+#include "rli/receiver.h"
+#include "rli/sender.h"
+#include "sim/cross_traffic.h"
+#include "sim/pipeline.h"
+#include "timebase/clock.h"
+#include "trace/synthetic.h"
+
+namespace rlir {
+namespace {
+
+using timebase::Duration;
+
+trace::SyntheticConfig regular_config(Duration duration, double offered_bps,
+                                      std::uint64_t seed) {
+  trace::SyntheticConfig cfg;
+  cfg.duration = duration;
+  cfg.offered_bps = offered_bps;
+  cfg.seed = seed;
+  cfg.src_pool = net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 16);
+  return cfg;
+}
+
+trace::SyntheticConfig cross_config(Duration duration, double offered_bps,
+                                    std::uint64_t seed) {
+  trace::SyntheticConfig cfg;
+  cfg.duration = duration;
+  cfg.offered_bps = offered_bps;
+  cfg.seed = seed;
+  cfg.kind = net::PacketKind::kCross;
+  cfg.src_pool = net::Ipv4Prefix(net::Ipv4Address(172, 16, 0, 0), 16);
+  cfg.first_seq = 1'000'000'000;
+  return cfg;
+}
+
+struct RunOutput {
+  sim::PipelineResult pipeline;
+  rli::AccuracyReport report;
+  std::uint64_t refs_injected = 0;
+};
+
+RunOutput run_rli(double cross_util_target, rli::InjectionScheme scheme,
+                  sim::CrossModel model = sim::CrossModel::kUniform) {
+  const Duration duration = Duration::milliseconds(300);
+  const double link_bps = 10e9;
+
+  auto regular = trace::SyntheticTraceGenerator(
+                     regular_config(duration, 0.22 * link_bps, 42))
+                     .generate_all();
+  auto cross = trace::SyntheticTraceGenerator(
+                   cross_config(duration, 0.80 * link_bps, 7))
+                   .generate_all();
+
+  std::uint64_t regular_bytes = 0;
+  for (const auto& p : regular) regular_bytes += p.size_bytes;
+  std::uint64_t cross_bytes = 0;
+  for (const auto& p : cross) cross_bytes += p.size_bytes;
+
+  sim::CrossTrafficConfig cross_cfg;
+  cross_cfg.model = model;
+  cross_cfg.burst_on = Duration::milliseconds(50);
+  cross_cfg.burst_off = Duration::milliseconds(50);
+  double p = sim::selection_for_utilization(cross_util_target, link_bps, duration,
+                                            regular_bytes, cross_bytes);
+  if (model == sim::CrossModel::kBursty) p = std::min(1.0, p * 2.0);  // duty cycle 0.5
+  cross_cfg.selection_probability = p;
+  sim::CrossTrafficInjector injector(cross_cfg);
+
+  timebase::PerfectClock clock;
+  rli::SenderConfig sender_cfg;
+  sender_cfg.scheme = scheme;
+  rli::RliSender sender(sender_cfg, &clock);
+
+  rli::ReceiverConfig recv_cfg;
+  rli::RliReceiver receiver(recv_cfg, &clock);
+  rli::GroundTruthTap truth;
+
+  sim::TwoHopPipeline pipeline(sim::PipelineConfig{});
+  pipeline.set_reference_injector(&sender);
+  pipeline.set_cross_injector(&injector);
+  pipeline.add_egress_tap(&receiver);
+  pipeline.add_egress_tap(&truth);
+
+  RunOutput out;
+  out.pipeline = pipeline.run(regular, cross);
+  out.report = rli::AccuracyReport::compare(truth.per_flow(), receiver.per_flow());
+  out.refs_injected = sender.references_injected();
+  return out;
+}
+
+TEST(TwoHopIntegration, TrafficFlowsEndToEnd) {
+  const auto out = run_rli(0.67, rli::InjectionScheme::kStatic);
+  EXPECT_GT(out.pipeline.regular_offered, 10'000u);
+  EXPECT_GT(out.pipeline.regular_delivered, 0u);
+  EXPECT_GT(out.pipeline.cross_delivered, 0u);
+  EXPECT_GT(out.refs_injected, 0u);
+  // Static 1-and-100: one reference per 100 regular packets.
+  EXPECT_NEAR(static_cast<double>(out.refs_injected),
+              static_cast<double>(out.pipeline.regular_offered) / 100.0, 2.0);
+}
+
+TEST(TwoHopIntegration, BottleneckUtilizationIsCalibrated) {
+  const auto out = run_rli(0.67, rli::InjectionScheme::kStatic);
+  EXPECT_NEAR(out.pipeline.bottleneck_utilization(), 0.67, 0.08);
+}
+
+TEST(TwoHopIntegration, EstimatesTrackTruthAtHighUtilization) {
+  const auto out = run_rli(0.93, rli::InjectionScheme::kAdaptive);
+  ASSERT_GT(out.report.flow_count(), 100u);
+  // At high utilization delays are large and delay locality strong; the
+  // paper reports ~4.5% median relative error. Allow generous slack.
+  EXPECT_LT(out.report.median_mean_error(), 0.30);
+}
+
+TEST(TwoHopIntegration, AccuracyImprovesWithUtilization) {
+  const auto lo = run_rli(0.67, rli::InjectionScheme::kAdaptive);
+  const auto hi = run_rli(0.93, rli::InjectionScheme::kAdaptive);
+  ASSERT_GT(lo.report.flow_count(), 100u);
+  ASSERT_GT(hi.report.flow_count(), 100u);
+  // Figure 4(a): relative error shrinks as the bottleneck heats up.
+  EXPECT_LT(hi.report.median_mean_error(), lo.report.median_mean_error());
+}
+
+TEST(TwoHopIntegration, AdaptiveBeatsStaticAtHighUtilization) {
+  const auto adaptive = run_rli(0.93, rli::InjectionScheme::kAdaptive);
+  const auto fixed = run_rli(0.93, rli::InjectionScheme::kStatic);
+  // Adaptive injects 10x more references (1-and-10 vs 1-and-100) and should
+  // estimate at least as well.
+  EXPECT_GT(adaptive.refs_injected, fixed.refs_injected * 5);
+  EXPECT_LE(adaptive.report.median_mean_error(), fixed.report.median_mean_error() * 1.1);
+}
+
+}  // namespace
+}  // namespace rlir

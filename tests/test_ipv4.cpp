@@ -1,0 +1,138 @@
+// Unit tests: net/ipv4.h — addresses and CIDR prefixes.
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+
+namespace rlir::net {
+namespace {
+
+TEST(Ipv4Address, OctetConstruction) {
+  const Ipv4Address a(10, 1, 2, 3);
+  EXPECT_EQ(a.value(), 0x0a010203u);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 3);
+}
+
+TEST(Ipv4Address, ToString) {
+  EXPECT_EQ(Ipv4Address(192, 168, 0, 1).to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4Address(0, 0, 0, 0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  EXPECT_EQ(Ipv4Address::parse("10.1.2.3"), Ipv4Address(10, 1, 2, 3));
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0"), Ipv4Address(0u));
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255"), Ipv4Address(~0u));
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Address, RoundTrip) {
+  for (const auto* text : {"10.0.0.1", "172.16.254.3", "8.8.8.8"}) {
+    const auto a = Ipv4Address::parse(text);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, MaskComputation) {
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(0u), 0).mask(), 0u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(0u), 8).mask(), 0xff000000u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(0u), 24).mask(), 0xffffff00u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(0u), 32).mask(), 0xffffffffu);
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Address(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.base(), Ipv4Address(10, 1, 2, 0));
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const Ipv4Prefix p(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 2, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 2, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Address(10, 1, 3, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address(11, 1, 2, 1)));
+
+  const Ipv4Prefix all(Ipv4Address(0u), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(1, 2, 3, 4)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const Ipv4Prefix wide(Ipv4Address(10, 0, 0, 0), 8);
+  const Ipv4Prefix narrow(Ipv4Address(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(Ipv4Prefix, SizeAndAddressAt) {
+  const Ipv4Prefix p(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.address_at(0), Ipv4Address(10, 1, 2, 0));
+  EXPECT_EQ(p.address_at(255), Ipv4Address(10, 1, 2, 255));
+  EXPECT_THROW(p.address_at(256), std::out_of_range);
+
+  const Ipv4Prefix host(Ipv4Address(1, 2, 3, 4), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_EQ(host.address_at(0), Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(Ipv4Prefix, ParseValid) {
+  const auto p = Ipv4Prefix::parse("192.168.1.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->base(), Ipv4Address(192, 168, 1, 0));
+  EXPECT_EQ(p->length(), 24);
+
+  const auto q = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(q);
+  EXPECT_EQ(q->length(), 0);
+}
+
+TEST(Ipv4Prefix, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/24"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/24"));
+}
+
+// Sweep: canonicalization and contains() agree across every prefix length.
+class PrefixLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthSweep, BaseInsideItself) {
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  const Ipv4Prefix p(Ipv4Address(172, 16, 33, 7), len);
+  EXPECT_TRUE(p.contains(p.base()));
+  EXPECT_EQ(p.base().value() & ~p.mask(), 0u);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << (32 - len));
+  // Last address inside; one past it outside (when the prefix is not /0).
+  const Ipv4Address last = p.address_at(p.size() - 1);
+  EXPECT_TRUE(p.contains(last));
+  if (len > 0 && last.value() != ~0u) {
+    EXPECT_FALSE(p.contains(Ipv4Address(last.value() + 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixLengthSweep,
+                         ::testing::Values(1, 4, 8, 12, 16, 20, 24, 28, 31, 32));
+
+}  // namespace
+}  // namespace rlir::net

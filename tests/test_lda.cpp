@@ -1,0 +1,204 @@
+// Unit tests: baseline/lda.h — the Lossy Difference Aggregator.
+#include <gtest/gtest.h>
+
+#include "baseline/lda.h"
+#include "common/rng.h"
+#include "timebase/clock.h"
+
+namespace rlir::baseline {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+net::Packet packet_n(std::uint64_t seq) {
+  net::Packet p;
+  p.seq = seq;
+  p.key.src = net::Ipv4Address(10, 0, 0, 1);
+  p.key.src_port = static_cast<std::uint16_t>(seq * 7);
+  p.kind = net::PacketKind::kRegular;
+  return p;
+}
+
+LdaConfig single_bank() {
+  LdaConfig cfg;
+  cfg.banks = 1;
+  cfg.buckets_per_bank = 256;
+  return cfg;
+}
+
+TEST(LdaSketch, RejectsBadConfig) {
+  LdaConfig cfg;
+  cfg.banks = 0;
+  EXPECT_THROW(LdaSketch{cfg}, std::invalid_argument);
+  cfg = LdaConfig{};
+  cfg.buckets_per_bank = 0;
+  EXPECT_THROW(LdaSketch{cfg}, std::invalid_argument);
+  cfg = LdaConfig{};
+  cfg.sample_base = 0.5;
+  EXPECT_THROW(LdaSketch{cfg}, std::invalid_argument);
+}
+
+TEST(LdaSketch, StateBytesIsSmall) {
+  const LdaSketch sketch(LdaConfig{});
+  // 4 banks x 1024 buckets x 16B = 64KB: the paper's "tiny state" point.
+  EXPECT_EQ(sketch.state_bytes(), 4u * 1024u * 16u);
+}
+
+TEST(LdaEstimate, ExactUnderZeroLossConstantDelay) {
+  LdaSketch sender(single_bank());
+  LdaSketch receiver(single_bank());
+  constexpr std::int64_t kDelay = 12'345;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const auto p = packet_n(i);
+    sender.record(p, TimePoint(static_cast<std::int64_t>(i * 1000)));
+    receiver.record(p, TimePoint(static_cast<std::int64_t>(i * 1000) + kDelay));
+  }
+  const auto est = LdaEstimate::compute(sender, receiver);
+  ASSERT_TRUE(est);
+  EXPECT_DOUBLE_EQ(est->mean_delay_ns, static_cast<double>(kDelay));
+  EXPECT_EQ(est->usable_packets, 10'000u);
+  EXPECT_EQ(est->unusable_buckets, 0u);
+  EXPECT_DOUBLE_EQ(est->coverage, 1.0);
+}
+
+TEST(LdaEstimate, AveragesVariableDelays) {
+  LdaSketch sender(single_bank());
+  LdaSketch receiver(single_bank());
+  common::Xoshiro256 rng(5);
+  double total_delay = 0.0;
+  constexpr int kN = 20'000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto p = packet_n(i);
+    const auto t = static_cast<std::int64_t>(i * 1000);
+    const auto delay = static_cast<std::int64_t>(rng.uniform_u64(10'000));
+    total_delay += static_cast<double>(delay);
+    sender.record(p, TimePoint(t));
+    receiver.record(p, TimePoint(t + delay));
+  }
+  const auto est = LdaEstimate::compute(sender, receiver);
+  ASSERT_TRUE(est);
+  EXPECT_NEAR(est->mean_delay_ns, total_delay / kN, 1e-6);
+}
+
+TEST(LdaEstimate, LossInvalidatesOnlyTouchedBuckets) {
+  LdaSketch sender(single_bank());
+  LdaSketch receiver(single_bank());
+  constexpr int kN = 10'000;
+  int lost = 0;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto p = packet_n(i);
+    sender.record(p, TimePoint(0));
+    if (i % 100 == 7) {  // 1% loss
+      ++lost;
+      continue;
+    }
+    receiver.record(p, TimePoint(1000));
+  }
+  const auto est = LdaEstimate::compute(sender, receiver);
+  ASSERT_TRUE(est);
+  // Usable buckets still give the exact answer.
+  EXPECT_DOUBLE_EQ(est->mean_delay_ns, 1000.0);
+  EXPECT_GT(est->unusable_buckets, 0u);
+  // Lost packets plus collateral damage (bucket-mates) reduce coverage.
+  EXPECT_LT(est->coverage, 1.0);
+  EXPECT_GT(est->coverage, 0.3);
+  EXPECT_LE(est->usable_packets, static_cast<std::uint64_t>(kN - lost));
+}
+
+TEST(LdaEstimate, MultiBankSurvivesHeavyLoss) {
+  // With 30% loss, bank 0 (sample-all) is mostly unusable, but the sampled
+  // banks keep enough clean buckets to estimate.
+  LdaConfig cfg;
+  cfg.banks = 4;
+  cfg.buckets_per_bank = 512;
+  LdaSketch sender(cfg);
+  LdaSketch receiver(cfg);
+  common::Xoshiro256 rng(9);
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    const auto p = packet_n(i);
+    sender.record(p, TimePoint(0));
+    if (rng.bernoulli(0.30)) continue;
+    receiver.record(p, TimePoint(2'000));
+  }
+  const auto est = LdaEstimate::compute(sender, receiver);
+  ASSERT_TRUE(est);
+  EXPECT_DOUBLE_EQ(est->mean_delay_ns, 2000.0);
+  EXPECT_GT(est->usable_packets, 100u);
+}
+
+TEST(LdaEstimate, MismatchedConfigsThrow) {
+  LdaConfig a = single_bank();
+  LdaConfig b = single_bank();
+  b.buckets_per_bank = 128;
+  LdaSketch sender(a);
+  LdaSketch receiver(b);
+  EXPECT_THROW((void)LdaEstimate::compute(sender, receiver), std::invalid_argument);
+}
+
+TEST(LdaEstimate, NoUsableBucketsReturnsNullopt) {
+  LdaSketch sender(single_bank());
+  LdaSketch receiver(single_bank());
+  // Everything lost: all touched buckets mismatch.
+  for (std::uint64_t i = 0; i < 100; ++i) sender.record(packet_n(i), TimePoint(0));
+  const auto est = LdaEstimate::compute(sender, receiver);
+  EXPECT_FALSE(est);
+}
+
+TEST(LdaTap, FiltersNonRegularAndUsesClock) {
+  timebase::FixedOffsetClock clock(Duration::microseconds(1));
+  LdaTap tap(single_bank(), &clock);
+  tap.on_packet(packet_n(1), TimePoint(0));
+  net::Packet ref = packet_n(2);
+  ref.kind = net::PacketKind::kReference;
+  tap.on_packet(ref, TimePoint(0));
+  EXPECT_EQ(tap.sketch().packets_recorded(), 1u);
+  EXPECT_THROW(LdaTap(single_bank(), nullptr), std::invalid_argument);
+}
+
+TEST(LdaTap, EndToEndWithClockOffsets) {
+  // Sender clock +2us, receiver clock -1us: measured delay = true - 3us.
+  timebase::FixedOffsetClock send_clock(Duration::microseconds(2));
+  timebase::FixedOffsetClock recv_clock(Duration::microseconds(-1));
+  LdaTap sender(single_bank(), &send_clock);
+  LdaTap receiver(single_bank(), &recv_clock);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto p = packet_n(i);
+    sender.on_packet(p, TimePoint(static_cast<std::int64_t>(i * 100)));
+    receiver.on_packet(p, TimePoint(static_cast<std::int64_t>(i * 100) + 10'000));
+  }
+  const auto est = LdaEstimate::compute(sender.sketch(), receiver.sketch());
+  ASSERT_TRUE(est);
+  EXPECT_DOUBLE_EQ(est->mean_delay_ns, 7'000.0);  // 10us - 3us sync error
+}
+
+// Sweep: sampling banks keep a decreasing share of packets.
+class LdaSamplingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LdaSamplingSweep, BankSampleRatesDecrease) {
+  LdaConfig cfg;
+  cfg.banks = GetParam();
+  cfg.buckets_per_bank = 1u << 14;  // wide: few collisions
+  cfg.sample_base = 4.0;
+  LdaSketch sketch(cfg);
+  constexpr std::uint64_t kN = 50'000;
+  for (std::uint64_t i = 0; i < kN; ++i) sketch.record(packet_n(i), TimePoint(0));
+
+  double prev_fill = 2.0 * kN;
+  for (std::size_t bank = 0; bank < cfg.banks; ++bank) {
+    std::uint64_t in_bank = 0;
+    for (std::size_t b = 0; b < cfg.buckets_per_bank; ++b) {
+      in_bank += sketch.bucket(bank, b).count;
+    }
+    const double expected = static_cast<double>(kN) * std::pow(4.0, -static_cast<double>(bank));
+    EXPECT_NEAR(static_cast<double>(in_bank), expected, expected * 0.15 + 20.0)
+        << "bank " << bank;
+    EXPECT_LT(static_cast<double>(in_bank), prev_fill);
+    prev_fill = static_cast<double>(in_bank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, LdaSamplingSweep, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace rlir::baseline

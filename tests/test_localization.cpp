@@ -1,0 +1,104 @@
+// Unit tests: rlir/localization.h — segment anomaly detection.
+#include <gtest/gtest.h>
+
+#include "rlir/localization.h"
+
+namespace rlir::rlir {
+namespace {
+
+rli::FlowStatsMap flows_with_means(std::initializer_list<double> means) {
+  rli::FlowStatsMap map;
+  std::uint16_t port = 1;
+  for (const double m : means) {
+    net::FiveTuple key;
+    key.src_port = port++;
+    map[key].add(m);
+  }
+  return map;
+}
+
+TEST(AnomalyLocalizer, SegmentReportStatistics) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("seg", flows_with_means({100.0, 200.0, 300.0, 400.0, 500.0}));
+  ASSERT_EQ(localizer.segments().size(), 1u);
+  const auto& seg = localizer.segments()[0];
+  EXPECT_EQ(seg.name, "seg");
+  EXPECT_EQ(seg.flows, 5u);
+  EXPECT_DOUBLE_EQ(seg.median_flow_delay_ns, 300.0);
+  EXPECT_DOUBLE_EQ(seg.mean_flow_delay_ns, 300.0);
+  EXPECT_NEAR(seg.p90_flow_delay_ns, 460.0, 1e-9);
+}
+
+TEST(AnomalyLocalizer, EmptySegmentIsSafe) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("empty", {});
+  EXPECT_EQ(localizer.segments()[0].flows, 0u);
+  EXPECT_EQ(localizer.baseline_ns(), 0.0);
+  const auto findings = localizer.localize();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].anomalous);
+}
+
+TEST(AnomalyLocalizer, BaselineIsMedianOfMedians) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("a", flows_with_means({100.0}));
+  localizer.add_segment("b", flows_with_means({200.0}));
+  localizer.add_segment("c", flows_with_means({10'000.0}));
+  EXPECT_DOUBLE_EQ(localizer.baseline_ns(), 200.0);
+}
+
+TEST(AnomalyLocalizer, FlagsOnlyTheSlowSegment) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("healthy-1", flows_with_means({90.0, 100.0, 110.0}));
+  localizer.add_segment("healthy-2", flows_with_means({95.0, 105.0, 115.0}));
+  localizer.add_segment("slow", flows_with_means({900.0, 1000.0, 1100.0}));
+  localizer.add_segment("healthy-3", flows_with_means({80.0, 100.0, 120.0}));
+
+  const auto findings = localizer.localize(3.0);
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].segment, "slow");
+  EXPECT_TRUE(findings[0].anomalous);
+  EXPECT_GT(findings[0].score, 5.0);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_FALSE(findings[i].anomalous) << findings[i].segment;
+  }
+}
+
+TEST(AnomalyLocalizer, FindingsSortedByScore) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("low", flows_with_means({100.0}));
+  localizer.add_segment("mid", flows_with_means({200.0}));
+  localizer.add_segment("high", flows_with_means({400.0}));
+  const auto findings = localizer.localize(100.0);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].segment, "high");
+  EXPECT_EQ(findings[1].segment, "mid");
+  EXPECT_EQ(findings[2].segment, "low");
+  EXPECT_GE(findings[0].score, findings[1].score);
+  EXPECT_GE(findings[1].score, findings[2].score);
+}
+
+TEST(AnomalyLocalizer, ThresholdIsRespected) {
+  AnomalyLocalizer localizer;
+  localizer.add_segment("base-1", flows_with_means({100.0}));
+  localizer.add_segment("base-2", flows_with_means({100.0}));
+  localizer.add_segment("mildly-slow", flows_with_means({250.0}));
+
+  // Score of the slow segment: 250/100 = 2.5.
+  EXPECT_FALSE(localizer.localize(3.0).front().anomalous);
+  EXPECT_TRUE(localizer.localize(2.0).front().anomalous);
+}
+
+TEST(AnomalyLocalizer, MultiPacketFlowsUseTheirMeans) {
+  AnomalyLocalizer localizer;
+  rli::FlowStatsMap map;
+  net::FiveTuple key;
+  key.src_port = 1;
+  map[key].add(100.0);
+  map[key].add(300.0);  // flow mean 200
+  localizer.add_segment("seg", map);
+  EXPECT_DOUBLE_EQ(localizer.segments()[0].median_flow_delay_ns, 200.0);
+}
+
+}  // namespace
+}  // namespace rlir::rlir

@@ -1,0 +1,62 @@
+// Unit tests: common/logging.h — leveled logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rlir::common {
+namespace {
+
+// Captures stderr for the duration of a scope.
+class CaptureStderr {
+ public:
+  CaptureStderr() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_threshold(); }
+  void TearDown() override { log_threshold() = saved_; }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, ThresholdFiltersLowerLevels) {
+  log_threshold() = LogLevel::kWarn;
+  CaptureStderr capture;
+  log_debug("quiet");
+  log_info("quiet");
+  log_warn("loud");
+  EXPECT_EQ(capture.text().find("quiet"), std::string::npos);
+  EXPECT_NE(capture.text().find("loud"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesCarryLevelTag) {
+  log_threshold() = LogLevel::kDebug;
+  CaptureStderr capture;
+  log_error("boom");
+  EXPECT_NE(capture.text().find("[ERROR] boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, VariadicArgumentsConcatenate) {
+  log_threshold() = LogLevel::kInfo;
+  CaptureStderr capture;
+  log_info("x=", 42, " y=", 1.5);
+  EXPECT_NE(capture.text().find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  log_threshold() = LogLevel::kOff;
+  CaptureStderr capture;
+  log_error("nothing");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+}  // namespace
+}  // namespace rlir::common

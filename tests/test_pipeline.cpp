@@ -1,0 +1,164 @@
+// Unit tests: sim/pipeline.h — the Figure-3 two-hop environment.
+#include <gtest/gtest.h>
+
+#include "rli/sender.h"
+#include "sim/pipeline.h"
+#include "sim/tap.h"
+#include "timebase/clock.h"
+#include "trace/synthetic.h"
+
+namespace rlir::sim {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+std::vector<net::Packet> make_stream(double bps, std::uint64_t seed,
+                                     net::PacketKind kind = net::PacketKind::kRegular,
+                                     Duration duration = Duration::milliseconds(20)) {
+  trace::SyntheticConfig cfg;
+  cfg.duration = duration;
+  cfg.offered_bps = bps;
+  cfg.seed = seed;
+  cfg.kind = kind;
+  if (kind == net::PacketKind::kCross) {
+    cfg.src_pool = net::Ipv4Prefix(net::Ipv4Address(172, 16, 0, 0), 16);
+    cfg.first_seq = 1'000'000;
+  }
+  return trace::SyntheticTraceGenerator(cfg).generate_all();
+}
+
+TEST(TwoHopPipeline, ConservesPackets) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  const auto regular = make_stream(1e9, 1);
+  const auto cross = make_stream(1e9, 2, net::PacketKind::kCross);
+  const auto result = pipeline.run(regular, cross);
+
+  EXPECT_EQ(result.regular_offered, regular.size());
+  EXPECT_EQ(result.cross_offered, cross.size());
+  EXPECT_EQ(result.regular_delivered + result.regular_dropped, result.regular_offered);
+  EXPECT_EQ(result.cross_delivered + result.cross_dropped, result.cross_admitted);
+  // No injector configured: all cross admitted, no references.
+  EXPECT_EQ(result.cross_admitted, result.cross_offered);
+  EXPECT_EQ(result.reference_injected, 0u);
+}
+
+TEST(TwoHopPipeline, DeliveredPacketsGainDelay) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  RecordingTap tap;
+  pipeline.add_egress_tap(&tap);
+  const auto result = pipeline.run(make_stream(1e9, 3), {});
+  ASSERT_GT(tap.packets().size(), 0u);
+  EXPECT_EQ(tap.packets().size(), result.regular_delivered);
+  for (const auto& p : tap.packets()) {
+    // Two processing delays + two transmissions: > 1us at 10G.
+    EXPECT_GT(p.true_delay().ns(), 1'000);
+    EXPECT_LT(p.true_delay().ns(), 10'000'000);
+  }
+}
+
+TEST(TwoHopPipeline, EgressOrderIsTimeSorted) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  RecordingTap tap;
+  pipeline.add_egress_tap(&tap);
+  (void)pipeline.run(make_stream(3e9, 4), make_stream(3e9, 5, net::PacketKind::kCross));
+  TimePoint last = TimePoint::zero();
+  for (const auto& p : tap.packets()) {
+    EXPECT_GE(p.ts, last);
+    last = p.ts;
+  }
+}
+
+TEST(TwoHopPipeline, IngressTapSeesOnlyRegularStream) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  RecordingTap ingress;
+  pipeline.add_ingress_tap(&ingress);
+  const auto regular = make_stream(1e9, 6);
+  (void)pipeline.run(regular, make_stream(1e9, 7, net::PacketKind::kCross));
+  EXPECT_EQ(ingress.packets().size(), regular.size());
+  for (const auto& p : ingress.packets()) {
+    EXPECT_EQ(p.kind, net::PacketKind::kRegular);
+  }
+}
+
+TEST(TwoHopPipeline, CrossInjectorThins) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  CrossTrafficConfig cross_cfg;
+  cross_cfg.selection_probability = 0.25;
+  CrossTrafficInjector injector(cross_cfg);
+  pipeline.set_cross_injector(&injector);
+  const auto cross = make_stream(2e9, 8, net::PacketKind::kCross);
+  const auto result = pipeline.run({}, cross);
+  EXPECT_NEAR(static_cast<double>(result.cross_admitted) /
+                  static_cast<double>(result.cross_offered),
+              0.25, 0.05);
+}
+
+TEST(TwoHopPipeline, ReferenceInjectionAndDelivery) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  timebase::PerfectClock clock;
+  rli::SenderConfig cfg;
+  cfg.static_gap = 50;
+  rli::RliSender sender(cfg, &clock);
+  pipeline.set_reference_injector(&sender);
+
+  RecordingTap tap;
+  pipeline.add_egress_tap(&tap);
+  const auto regular = make_stream(1e9, 9);
+  const auto result = pipeline.run(regular, {});
+
+  EXPECT_EQ(result.reference_injected, regular.size() / 50);
+  EXPECT_EQ(result.reference_delivered + result.reference_dropped,
+            result.reference_injected);
+  std::uint64_t refs_seen = 0;
+  for (const auto& p : tap.packets()) {
+    if (p.is_reference()) ++refs_seen;
+  }
+  EXPECT_EQ(refs_seen, result.reference_delivered);
+}
+
+TEST(TwoHopPipeline, OverloadDropsAtBottleneck) {
+  PipelineConfig cfg;
+  cfg.switch2.link_bps = 1e9;  // bottleneck: 10x slower than the offered load
+  cfg.switch2.capacity_bytes = 20'000;
+  TwoHopPipeline pipeline{cfg};
+  const auto result = pipeline.run(make_stream(3e9, 10), {});
+  EXPECT_GT(result.regular_dropped, 0u);
+  EXPECT_GT(result.regular_loss_rate(), 0.2);
+  EXPECT_GT(result.switch2.dropped_packets, 0u);
+  EXPECT_EQ(result.switch1.dropped_packets, 0u);
+}
+
+TEST(TwoHopPipeline, UtilizationGrowsWithCrossLoad) {
+  TwoHopPipeline light{PipelineConfig{}};
+  const auto r_light = light.run(make_stream(1e9, 11), {});
+  TwoHopPipeline heavy{PipelineConfig{}};
+  const auto r_heavy =
+      heavy.run(make_stream(1e9, 11), make_stream(5e9, 12, net::PacketKind::kCross));
+  EXPECT_GT(r_heavy.bottleneck_utilization(), r_light.bottleneck_utilization() + 0.2);
+}
+
+TEST(TwoHopPipeline, EmptyInputsAreSafe) {
+  TwoHopPipeline pipeline{PipelineConfig{}};
+  const auto result = pipeline.run({}, {});
+  EXPECT_EQ(result.regular_offered, 0u);
+  EXPECT_EQ(result.cross_offered, 0u);
+  EXPECT_EQ(result.last_departure, TimePoint::zero());
+}
+
+TEST(TapFanout, DeliversToAllChildren) {
+  RecordingTap a;
+  RecordingTap b;
+  TapFanout fanout;
+  fanout.add(&a);
+  fanout.add(&b);
+  net::Packet p;
+  p.seq = 9;
+  fanout.on_packet(p, TimePoint(0));
+  ASSERT_EQ(a.packets().size(), 1u);
+  ASSERT_EQ(b.packets().size(), 1u);
+  EXPECT_EQ(a.packets()[0].seq, 9u);
+}
+
+}  // namespace
+}  // namespace rlir::sim

@@ -1,0 +1,104 @@
+// Unit tests: topo/placement.h — Section 3.1 deployment complexity.
+#include <gtest/gtest.h>
+
+#include "topo/placement.h"
+
+namespace rlir::topo {
+namespace {
+
+TEST(Placement, PaperFormulasAtK4) {
+  // Paper: k+2, k(k+2)/2, (k/2)^2(k+1).
+  EXPECT_EQ(rlir_instances(4, DeploymentGranularity::kInterfacePair), 6u);
+  EXPECT_EQ(rlir_instances(4, DeploymentGranularity::kTorPair), 12u);
+  EXPECT_EQ(rlir_instances(4, DeploymentGranularity::kAllTorPairs), 20u);
+}
+
+TEST(Placement, PaperFormulasAtK8) {
+  EXPECT_EQ(rlir_instances(8, DeploymentGranularity::kInterfacePair), 10u);
+  EXPECT_EQ(rlir_instances(8, DeploymentGranularity::kTorPair), 40u);
+  EXPECT_EQ(rlir_instances(8, DeploymentGranularity::kAllTorPairs), 144u);
+}
+
+TEST(Placement, RejectsInvalidK) {
+  EXPECT_THROW(rlir_instances(3, DeploymentGranularity::kTorPair), std::invalid_argument);
+  EXPECT_THROW(full_deployment_instances(0), std::invalid_argument);
+}
+
+TEST(Placement, FullDeploymentExactCount) {
+  // k=4: 20 switches, k(k-1)=12 instances each => 240.
+  EXPECT_EQ(full_deployment_instances(4), 240u);
+  // k=8: 80 switches * 56 = 4480.
+  EXPECT_EQ(full_deployment_instances(8), 4480u);
+}
+
+TEST(Placement, FullDeploymentGrowsAsK4) {
+  // The paper's O(k^4): doubling k multiplies the count by ~16.
+  const double r1 = static_cast<double>(full_deployment_instances(16)) /
+                    static_cast<double>(full_deployment_instances(8));
+  const double r2 = static_cast<double>(full_deployment_instances(32)) /
+                    static_cast<double>(full_deployment_instances(16));
+  EXPECT_NEAR(r1, 16.0, 3.0);
+  EXPECT_NEAR(r2, 16.0, 2.0);
+}
+
+TEST(Placement, RlirIsAsymptoticallyCheaper) {
+  for (const int k : {4, 8, 16, 48}) {
+    const PlacementRow row = placement_row(k);
+    EXPECT_LT(row.interface_pair, row.tor_pair);
+    EXPECT_LT(row.tor_pair, row.all_tor_pairs);
+    EXPECT_LT(row.all_tor_pairs, row.full_deployment);
+  }
+  // Savings improve with scale: the ratio shrinks as k grows.
+  EXPECT_GT(placement_row(4).savings_ratio(), placement_row(16).savings_ratio());
+  EXPECT_GT(placement_row(16).savings_ratio(), placement_row(48).savings_ratio());
+}
+
+TEST(Placement, RowIsConsistentWithFormulas) {
+  const PlacementRow row = placement_row(8);
+  EXPECT_EQ(row.k, 8);
+  EXPECT_EQ(row.interface_pair, rlir_instances(8, DeploymentGranularity::kInterfacePair));
+  EXPECT_EQ(row.tor_pair, rlir_instances(8, DeploymentGranularity::kTorPair));
+  EXPECT_EQ(row.all_tor_pairs, rlir_instances(8, DeploymentGranularity::kAllTorPairs));
+  EXPECT_EQ(row.full_deployment, full_deployment_instances(8));
+}
+
+TEST(Placement, InterfacePairPlan) {
+  const FatTree topo(4);
+  const auto plan = plan_interface_pair(topo, topo.tor(0, 0), topo.tor(3, 0));
+  // Paper: k+2 = 6 instances for one interface pair.
+  EXPECT_EQ(plan.instance_count, 6u);
+  // Hosts: the two ToRs plus k/2 cores.
+  ASSERT_EQ(plan.instance_nodes.size(), 4u);
+  EXPECT_EQ(plan.instance_nodes[0], topo.tor(0, 0));
+  EXPECT_EQ(plan.instance_nodes[1], topo.tor(3, 0));
+  EXPECT_EQ(plan.instance_nodes[2].tier, Tier::kCore);
+  // Two segments per covered core (up + down), paper's T1-C1 / C1-T7 split.
+  EXPECT_EQ(plan.segments.size(), 4u);
+  EXPECT_EQ(plan.segments[0], "T1-C1");
+  EXPECT_EQ(plan.segments[1], "C1-T7");
+}
+
+TEST(Placement, PlanValidatesEndpoints) {
+  const FatTree topo(4);
+  EXPECT_THROW(plan_interface_pair(topo, topo.core(0), topo.tor(3, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(plan_interface_pair(topo, topo.tor(0, 0), topo.tor(0, 1)),
+               std::invalid_argument);
+}
+
+// Sweep: formulas evaluated across fabric sizes stay self-consistent.
+class PlacementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementSweep, FormulaValues) {
+  const int k = GetParam();
+  const auto uk = static_cast<std::uint64_t>(k);
+  EXPECT_EQ(rlir_instances(k, DeploymentGranularity::kInterfacePair), uk + 2);
+  EXPECT_EQ(rlir_instances(k, DeploymentGranularity::kTorPair), uk * (uk + 2) / 2);
+  EXPECT_EQ(rlir_instances(k, DeploymentGranularity::kAllTorPairs),
+            (uk / 2) * (uk / 2) * (uk + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PlacementSweep, ::testing::Values(2, 4, 8, 16, 24, 48, 64));
+
+}  // namespace
+}  // namespace rlir::topo

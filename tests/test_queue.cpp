@@ -1,0 +1,154 @@
+// Unit tests: sim/queue.h — FIFO output-port queue model.
+#include <gtest/gtest.h>
+
+#include "sim/queue.h"
+
+namespace rlir::sim {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+net::Packet packet_of(std::uint32_t bytes, std::int64_t ts_ns = 0) {
+  net::Packet p;
+  p.size_bytes = bytes;
+  p.ts = TimePoint(ts_ns);
+  p.injected_at = p.ts;
+  return p;
+}
+
+QueueConfig fast_config() {
+  QueueConfig cfg;
+  cfg.link_bps = 10e9;                                   // 0.8 ns per byte
+  cfg.processing_delay = Duration::nanoseconds(100);
+  cfg.capacity_bytes = 10'000;
+  return cfg;
+}
+
+TEST(FifoQueue, RejectsBadConfig) {
+  QueueConfig cfg;
+  cfg.link_bps = 0.0;
+  EXPECT_THROW(FifoQueue{cfg}, std::invalid_argument);
+}
+
+TEST(FifoQueue, IdleQueueDepartureIsProcessingPlusTransmission) {
+  FifoQueue q(fast_config());
+  // 1000B at 10G = 800ns tx; +100ns processing.
+  const auto dep = q.offer(packet_of(1000), TimePoint(0));
+  ASSERT_TRUE(dep);
+  EXPECT_EQ(dep->ns(), 900);
+}
+
+TEST(FifoQueue, BackToBackPacketsQueueBehindEachOther) {
+  FifoQueue q(fast_config());
+  const auto d1 = q.offer(packet_of(1000), TimePoint(0));
+  const auto d2 = q.offer(packet_of(1000), TimePoint(0));
+  const auto d3 = q.offer(packet_of(500), TimePoint(0));
+  ASSERT_TRUE(d1 && d2 && d3);
+  EXPECT_EQ(d1->ns(), 900);
+  // Second waits for the transmitter: starts at 900, +800 tx.
+  EXPECT_EQ(d2->ns(), 1700);
+  EXPECT_EQ(d3->ns(), 2100);
+}
+
+TEST(FifoQueue, LatePacketSeesIdleServer) {
+  FifoQueue q(fast_config());
+  (void)q.offer(packet_of(1000), TimePoint(0));          // departs at 900
+  const auto dep = q.offer(packet_of(1000), TimePoint(10'000));
+  ASSERT_TRUE(dep);
+  EXPECT_EQ(dep->ns(), 10'900);  // no queueing
+}
+
+TEST(FifoQueue, TailDropWhenFull) {
+  QueueConfig cfg = fast_config();
+  cfg.capacity_bytes = 2'500;
+  FifoQueue q(cfg);
+  EXPECT_TRUE(q.offer(packet_of(1000), TimePoint(0)));
+  EXPECT_TRUE(q.offer(packet_of(1000), TimePoint(0)));
+  // 2000B queued; a 1000B packet exceeds 2500B capacity => dropped.
+  EXPECT_FALSE(q.offer(packet_of(1000), TimePoint(0)));
+  // A 500B packet still fits.
+  EXPECT_TRUE(q.offer(packet_of(500), TimePoint(0)));
+
+  EXPECT_EQ(q.stats().dropped_packets, 1u);
+  EXPECT_EQ(q.stats().dropped_bytes, 1000u);
+  EXPECT_EQ(q.stats().arrived_packets, 4u);
+  EXPECT_EQ(q.stats().departed_packets, 3u);
+  EXPECT_NEAR(q.stats().loss_rate(), 0.25, 1e-12);
+}
+
+TEST(FifoQueue, OccupancyDrainsOverTime) {
+  FifoQueue q(fast_config());
+  (void)q.offer(packet_of(1000), TimePoint(0));  // departs 900
+  (void)q.offer(packet_of(1000), TimePoint(0));  // departs 1700
+  EXPECT_EQ(q.occupancy_bytes(TimePoint(0)), 2000u);
+  EXPECT_EQ(q.occupancy_bytes(TimePoint(1000)), 1000u);  // first departed
+  EXPECT_EQ(q.occupancy_bytes(TimePoint(2000)), 0u);
+}
+
+TEST(FifoQueue, DropsDoNotBlockLaterTraffic) {
+  QueueConfig cfg = fast_config();
+  cfg.capacity_bytes = 1'000;
+  FifoQueue q(cfg);
+  EXPECT_TRUE(q.offer(packet_of(1000), TimePoint(0)));
+  EXPECT_FALSE(q.offer(packet_of(1000), TimePoint(0)));
+  // After the first drains, new arrivals are accepted again.
+  EXPECT_TRUE(q.offer(packet_of(1000), TimePoint(5'000)));
+}
+
+TEST(FifoQueue, OutOfOrderArrivalThrows) {
+  FifoQueue q(fast_config());
+  (void)q.offer(packet_of(100), TimePoint(1'000));
+  EXPECT_THROW((void)q.offer(packet_of(100), TimePoint(999)), std::logic_error);
+}
+
+TEST(FifoQueue, UtilizationTracksBusyTime) {
+  FifoQueue q(fast_config());
+  // 10 x 1000B = 8000ns busy.
+  for (int i = 0; i < 10; ++i) (void)q.offer(packet_of(1000), TimePoint(i * 10));
+  EXPECT_NEAR(q.utilization(TimePoint(16'000)), 0.5, 0.01);
+  EXPECT_EQ(q.utilization(TimePoint(0)), 0.0);
+}
+
+TEST(FifoQueue, MaxOccupancyTracked) {
+  FifoQueue q(fast_config());
+  (void)q.offer(packet_of(1000), TimePoint(0));
+  (void)q.offer(packet_of(1500), TimePoint(0));
+  EXPECT_EQ(q.stats().max_occupancy_bytes, 2500u);
+}
+
+TEST(FifoQueue, ResetClearsDynamicState) {
+  FifoQueue q(fast_config());
+  (void)q.offer(packet_of(1000), TimePoint(500));
+  q.reset();
+  EXPECT_EQ(q.stats().arrived_packets, 0u);
+  // After reset, earlier times are legal again.
+  const auto dep = q.offer(packet_of(1000), TimePoint(0));
+  ASSERT_TRUE(dep);
+  EXPECT_EQ(dep->ns(), 900);
+}
+
+// Work-conservation sweep: total busy time equals the sum of transmission
+// times of accepted packets, independent of arrival pattern.
+class QueueLoadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueLoadSweep, WorkConservation) {
+  const int gap_ns = GetParam();
+  QueueConfig cfg = fast_config();
+  cfg.capacity_bytes = 1'000'000;
+  FifoQueue q(cfg);
+  std::int64_t expected_busy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t bytes = 64 + static_cast<std::uint32_t>((i * 37) % 1400);
+    if (q.offer(packet_of(bytes), TimePoint(static_cast<std::int64_t>(i) * gap_ns))) {
+      expected_busy += timebase::transmission_time(bytes, cfg.link_bps).ns();
+    }
+  }
+  EXPECT_EQ(q.stats().busy_time.ns(), expected_busy);
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, QueueLoadSweep, ::testing::Values(100, 700, 2000, 10'000));
+
+}  // namespace
+}  // namespace rlir::sim

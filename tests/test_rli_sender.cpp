@@ -1,0 +1,175 @@
+// Unit tests: rli/sender.h — reference-packet injection schemes.
+#include <gtest/gtest.h>
+
+#include "rli/sender.h"
+#include "timebase/clock.h"
+
+namespace rlir::rli {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+net::Packet regular_at(std::int64_t ts_ns, std::uint32_t bytes = 1000) {
+  net::Packet p;
+  p.ts = TimePoint(ts_ns);
+  p.size_bytes = bytes;
+  p.kind = net::PacketKind::kRegular;
+  return p;
+}
+
+TEST(RliSender, RejectsBadConfig) {
+  timebase::PerfectClock clock;
+  EXPECT_THROW(RliSender(SenderConfig{}, nullptr), std::invalid_argument);
+
+  SenderConfig cfg;
+  cfg.static_gap = 0;
+  EXPECT_THROW(RliSender(cfg, &clock), std::invalid_argument);
+
+  cfg = SenderConfig{};
+  cfg.adaptive_min_gap = 0;
+  EXPECT_THROW(RliSender(cfg, &clock), std::invalid_argument);
+
+  cfg = SenderConfig{};
+  cfg.adaptive_max_gap = 5;  // < min (10)
+  EXPECT_THROW(RliSender(cfg, &clock), std::invalid_argument);
+
+  cfg = SenderConfig{};
+  cfg.util_window = Duration::zero();
+  EXPECT_THROW(RliSender(cfg, &clock), std::invalid_argument);
+}
+
+TEST(RliSender, StaticInjectsEveryNth) {
+  timebase::PerfectClock clock;
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kStatic;
+  cfg.static_gap = 10;
+  RliSender sender(cfg, &clock);
+
+  int refs = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const auto ref = sender.on_regular_packet(regular_at(i * 1000));
+    if (ref) {
+      ++refs;
+      // Every 10th packet triggers one.
+      EXPECT_EQ(i % 10, 0) << "at packet " << i;
+    }
+  }
+  EXPECT_EQ(refs, 10);
+  EXPECT_EQ(sender.references_injected(), 10u);
+  EXPECT_EQ(sender.regular_observed(), 100u);
+}
+
+TEST(RliSender, ReferenceCarriesIdStampAndSeq) {
+  timebase::FixedOffsetClock clock(Duration::microseconds(5));
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kStatic;
+  cfg.static_gap = 1;
+  cfg.id = 42;
+  cfg.ref_packet_bytes = 80;
+  RliSender sender(cfg, &clock);
+
+  const auto ref1 = sender.on_regular_packet(regular_at(1000));
+  ASSERT_TRUE(ref1);
+  EXPECT_TRUE(ref1->is_reference());
+  EXPECT_EQ(ref1->sender, 42);
+  EXPECT_EQ(ref1->size_bytes, 80u);
+  EXPECT_EQ(ref1->ts, TimePoint(1000));           // wire instant = trigger's
+  EXPECT_EQ(ref1->ref_stamp, TimePoint(6000));    // stamped by the skewed clock
+  EXPECT_EQ(ref1->seq, 0u);
+
+  const auto ref2 = sender.on_regular_packet(regular_at(2000));
+  ASSERT_TRUE(ref2);
+  EXPECT_EQ(ref2->seq, 1u);
+}
+
+TEST(RliSender, AdaptiveStaysAtMinGapWhenLinkQuiet) {
+  // ~22% utilization: the paper notes this "always triggers the highest
+  // injection rate (1-and-10)".
+  timebase::PerfectClock clock;
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kAdaptive;
+  cfg.link_bps = 10e9;
+  RliSender sender(cfg, &clock);
+
+  // 22% of 10G = 275MB/s; send 1000B packets every 3.6us for 50ms.
+  for (int i = 0; i < 14'000; ++i) {
+    (void)sender.on_regular_packet(regular_at(static_cast<std::int64_t>(i) * 3'636));
+  }
+  EXPECT_NEAR(sender.estimated_utilization(), 0.22, 0.05);
+  EXPECT_EQ(sender.current_gap(), cfg.adaptive_min_gap);
+}
+
+TEST(RliSender, AdaptiveBacksOffWhenLinkBusy) {
+  timebase::PerfectClock clock;
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kAdaptive;
+  cfg.link_bps = 10e9;
+  RliSender sender(cfg, &clock);
+
+  // ~96% utilization: 1500B packets back to back (1.25us apart).
+  for (int i = 0; i < 50'000; ++i) {
+    (void)sender.on_regular_packet(
+        regular_at(static_cast<std::int64_t>(i) * 1'250, 1500));
+  }
+  EXPECT_GT(sender.estimated_utilization(), 0.85);
+  EXPECT_GT(sender.current_gap(), 150u);
+  EXPECT_LE(sender.current_gap(), cfg.adaptive_max_gap);
+}
+
+TEST(RliSender, AdaptiveGapIsMonotoneInUtilization) {
+  // Feed increasing load levels into fresh senders; gaps must not decrease.
+  timebase::PerfectClock clock;
+  std::uint32_t last_gap = 0;
+  for (const double util : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    SenderConfig cfg;
+    cfg.scheme = InjectionScheme::kAdaptive;
+    cfg.link_bps = 10e9;
+    RliSender sender(cfg, &clock);
+    const double gap_ns = 1500.0 * 8.0 / (util * 10.0);  // ns between 1500B pkts
+    for (int i = 0; i < 30'000; ++i) {
+      (void)sender.on_regular_packet(
+          regular_at(static_cast<std::int64_t>(i * gap_ns), 1500));
+    }
+    EXPECT_GE(sender.current_gap(), last_gap) << "at util " << util;
+    last_gap = sender.current_gap();
+  }
+  EXPECT_GT(last_gap, 100u);
+}
+
+TEST(RliSender, UtilizationDecaysWhenLinkGoesQuiet) {
+  timebase::PerfectClock clock;
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kAdaptive;
+  cfg.link_bps = 10e9;
+  RliSender sender(cfg, &clock);
+  // Busy burst...
+  for (int i = 0; i < 20'000; ++i) {
+    (void)sender.on_regular_packet(regular_at(static_cast<std::int64_t>(i) * 1'250, 1500));
+  }
+  const double busy = sender.estimated_utilization();
+  // ...then a long quiet gap (many empty windows), then one packet.
+  (void)sender.on_regular_packet(regular_at(500'000'000, 1500));
+  EXPECT_LT(sender.estimated_utilization(), busy / 4.0);
+}
+
+// Sweep: static gap n yields floor(N/n) references over N packets.
+class StaticGapSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StaticGapSweep, InjectionCountExact) {
+  timebase::PerfectClock clock;
+  SenderConfig cfg;
+  cfg.scheme = InjectionScheme::kStatic;
+  cfg.static_gap = GetParam();
+  RliSender sender(cfg, &clock);
+  constexpr int kN = 3'000;
+  for (int i = 0; i < kN; ++i) {
+    (void)sender.on_regular_packet(regular_at(i * 1000));
+  }
+  EXPECT_EQ(sender.references_injected(), static_cast<std::uint64_t>(kN) / GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, StaticGapSweep, ::testing::Values(1, 10, 100, 300, 1000));
+
+}  // namespace
+}  // namespace rlir::rli

@@ -1,0 +1,156 @@
+// Unit tests: common/rng.h — deterministic generators and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace rlir::common {
+namespace {
+
+TEST(SplitMix64, DeterministicFromSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicFromSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRange) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformU64RespectsBound) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+  EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(6);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ExponentialMean) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);  // mean = 1/rate
+}
+
+TEST(Xoshiro256, ParetoMinimumAndMean) {
+  Xoshiro256 rng(8);
+  const double alpha = 2.5;
+  const double xm = 3.0;
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.pareto(alpha, xm);
+    ASSERT_GE(v, xm);
+    sum += v;
+  }
+  // mean = alpha*xm/(alpha-1) = 5.0; heavy tail => generous tolerance.
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Xoshiro256, NormalMoments) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Xoshiro256, LognormalPositive) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 10'000; ++i) ASSERT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Xoshiro256, GeometricMean) {
+  Xoshiro256 rng(11);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.geometric(p));
+  // failures before success: mean = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+// Distribution sweep: uniform_u64 over different bounds has ~uniform bins.
+class UniformU64Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformU64Sweep, BinsAreBalanced) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(12 + bound);
+  std::vector<int> bins(bound, 0);
+  const int kN = 20'000 * static_cast<int>(bound);
+  for (int i = 0; i < kN; ++i) ++bins[rng.uniform_u64(bound)];
+  const double expected = static_cast<double>(kN) / static_cast<double>(bound);
+  for (const int count : bins) {
+    EXPECT_NEAR(count, expected, expected * 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformU64Sweep, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace rlir::common

@@ -1,0 +1,183 @@
+// Unit tests: common/stats.h — streaming moments, CDFs, relative error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace rlir::common {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.5, -3.0, 7.25, 0.0, 2.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  const double pop_var = var / static_cast<double>(xs.size());
+  const double samp_var = var / static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), pop_var, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), samp_var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(pop_var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose all precision here.
+  RunningStats s;
+  const double base = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(base + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), base, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  Xoshiro256 rng(17);
+  RunningStats bulk;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    bulk.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  RunningStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), bulk.count());
+  EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), bulk.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(merged.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  RunningStats merged = a;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  RunningStats from_empty = empty;
+  from_empty.merge(a);
+  EXPECT_EQ(from_empty.count(), 2u);
+  EXPECT_NEAR(from_empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve(5).empty());
+}
+
+TEST(Cdf, QuantilesOfKnownData) {
+  const Cdf cdf({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.125), 1.5);  // interpolated
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  const Cdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Xoshiro256 rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  const Cdf cdf(std::move(xs));
+  const auto curve = cdf.curve(17);
+  ASSERT_EQ(curve.size(), 17u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].value, curve[i - 1].value);
+    EXPECT_GT(curve[i].fraction, curve[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+}
+
+TEST(Cdf, QuantileClampsInput) {
+  const Cdf cdf({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 2.0);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(*relative_error(110.0, 100.0), 0.10);
+  EXPECT_DOUBLE_EQ(*relative_error(90.0, 100.0), 0.10);
+  EXPECT_DOUBLE_EQ(*relative_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(*relative_error(-90.0, -100.0), 0.10);
+  EXPECT_FALSE(relative_error(5.0, 0.0).has_value());
+}
+
+TEST(FormatCdfTable, ContainsLabelAndRows) {
+  const Cdf cdf({1.0, 2.0, 3.0});
+  const std::string table = format_cdf_table(cdf, "demo", 5);
+  EXPECT_NE(table.find("demo"), std::string::npos);
+  EXPECT_NE(table.find("n=3"), std::string::npos);
+  // 5 curve rows + 2 header lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 7);
+}
+
+// Property: quantile() and fraction_at_or_below() are approximate inverses.
+class CdfInverseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CdfInverseSweep, QuantileFractionRoundTrip) {
+  Xoshiro256 rng(33);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(1.0));
+  const Cdf cdf(std::move(xs));
+  const double q = GetParam();
+  const double v = cdf.quantile(q);
+  EXPECT_NEAR(cdf.fraction_at_or_below(v), q, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, CdfInverseSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace rlir::common

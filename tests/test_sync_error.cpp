@@ -1,0 +1,68 @@
+// Integration tests: clock-sync error propagation through the full
+// measurement path (the ablation_sync_error bench in miniature).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+
+namespace rlir::exp {
+namespace {
+
+using timebase::Duration;
+
+ExperimentConfig base_config(Duration residual) {
+  ExperimentConfig cfg;
+  cfg.duration = Duration::milliseconds(120);
+  cfg.target_utilization = 0.67;
+  cfg.sync_residual = residual;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(SyncError, TinyResidualIsHarmless) {
+  const auto perfect = run_two_hop_experiment(base_config(Duration::zero()));
+  const auto tiny = run_two_hop_experiment(base_config(Duration::nanoseconds(50)));
+  ASSERT_GT(perfect.report.flow_count(), 100u);
+  // 50ns against multi-microsecond delays: indistinguishable.
+  EXPECT_NEAR(tiny.report.median_mean_error(), perfect.report.median_mean_error(), 0.02);
+}
+
+TEST(SyncError, LargeResidualDegradesAccuracy) {
+  const auto perfect = run_two_hop_experiment(base_config(Duration::zero()));
+  const auto bad = run_two_hop_experiment(base_config(Duration::microseconds(10)));
+  // 10us sync error vs ~4us true delays at 67%: accuracy collapses.
+  EXPECT_GT(bad.report.median_mean_error(), 2.0 * perfect.report.median_mean_error());
+}
+
+TEST(SyncError, HighUtilizationMasksModerateResidual) {
+  ExperimentConfig cfg = base_config(Duration::microseconds(1));
+  cfg.target_utilization = 0.93;
+  const auto with_error = run_two_hop_experiment(cfg);
+  cfg.sync_residual = Duration::zero();
+  const auto perfect = run_two_hop_experiment(cfg);
+  // 1us against ~85us delays: error inflation must stay small.
+  EXPECT_LT(with_error.report.median_mean_error(),
+            perfect.report.median_mean_error() + 0.05);
+}
+
+// Monotonicity sweep: accuracy never improves as sync degrades.
+class SyncResidualSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SyncResidualSweep, ErrorFloorsAtResidualOverDelay) {
+  const auto residual = Duration::nanoseconds(GetParam());
+  const auto result = run_two_hop_experiment(base_config(residual));
+  const auto baseline = run_two_hop_experiment(base_config(Duration::zero()));
+  // The sync error adds at most ~residual/true_delay to the relative error
+  // (plus noise); assert a generous version of that bound.
+  const double expected_extra =
+      static_cast<double>(residual.ns()) / baseline.true_mean_latency_ns;
+  EXPECT_LT(result.report.median_mean_error(),
+            baseline.report.median_mean_error() + expected_extra + 0.1);
+  EXPECT_GT(result.report.median_mean_error(),
+            baseline.report.median_mean_error() - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Residuals, SyncResidualSweep,
+                         ::testing::Values(100, 1'000, 5'000));
+
+}  // namespace
+}  // namespace rlir::exp

@@ -1,0 +1,119 @@
+// Unit tests: timebase/time.h — Duration and TimePoint arithmetic.
+#include <gtest/gtest.h>
+
+#include "timebase/time.h"
+
+namespace rlir::timebase {
+namespace {
+
+TEST(Duration, ConstructionAndAccessors) {
+  EXPECT_EQ(Duration().ns(), 0);
+  EXPECT_EQ(Duration::nanoseconds(7).ns(), 7);
+  EXPECT_EQ(Duration::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(Duration::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, FloatingAccessors) {
+  const Duration d = Duration::microseconds(1500);
+  EXPECT_DOUBLE_EQ(d.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(d.sec(), 0.0015);
+}
+
+TEST(Duration, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.5e-9).ns(), 1);   // rounds up from 0.5ns
+  EXPECT_EQ(Duration::from_seconds(0.4e-9).ns(), 0);
+  EXPECT_EQ(Duration::from_seconds(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::microseconds(10);
+  const Duration b = Duration::microseconds(4);
+  EXPECT_EQ((a + b).ns(), 14'000);
+  EXPECT_EQ((a - b).ns(), 6'000);
+  EXPECT_EQ((a * 3).ns(), 30'000);
+  EXPECT_EQ((3 * a).ns(), 30'000);
+  EXPECT_EQ((-a).ns(), -10'000);
+  EXPECT_EQ(a / b, 2);  // integer division truncates
+  EXPECT_EQ((a / 4).ns(), 2'500);
+
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.ns(), 14'000);
+  c -= b;
+  EXPECT_EQ(c.ns(), 10'000);
+  c *= 2;
+  EXPECT_EQ(c.ns(), 20'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::nanoseconds(1), Duration::nanoseconds(2));
+  EXPECT_EQ(Duration::microseconds(1), Duration::nanoseconds(1000));
+  EXPECT_GE(Duration::seconds(1), Duration::milliseconds(1000));
+  EXPECT_GT(Duration::zero(), Duration::nanoseconds(-1));
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::nanoseconds(5).to_string(), "5ns");
+  EXPECT_EQ(Duration::microseconds(12).to_string(), "12us");
+  EXPECT_EQ(Duration::milliseconds(3).to_string(), "3ms");
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::nanoseconds(-1500).to_string(), "-1.5us");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + Duration::microseconds(5);
+  EXPECT_EQ(t1.ns(), 5'000);
+  EXPECT_EQ((t1 - t0).ns(), 5'000);
+  EXPECT_EQ((t1 - Duration::microseconds(2)).ns(), 3'000);
+  EXPECT_EQ((Duration::microseconds(2) + t1).ns(), 7'000);
+
+  TimePoint t = t1;
+  t += Duration::nanoseconds(10);
+  EXPECT_EQ(t.ns(), 5'010);
+  t -= Duration::nanoseconds(10);
+  EXPECT_EQ(t, t1);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint(1), TimePoint(2));
+  EXPECT_EQ(TimePoint(5), TimePoint(5));
+  EXPECT_GT(TimePoint::max(), TimePoint(0));
+}
+
+TEST(TransmissionTime, BasicRates) {
+  // 1500B at 10 Gb/s = 1.2us.
+  EXPECT_EQ(transmission_time(1500, 10e9).ns(), 1'200);
+  // 64B at 1 Gb/s = 512ns.
+  EXPECT_EQ(transmission_time(64, 1e9).ns(), 512);
+  // Zero bytes take zero time.
+  EXPECT_EQ(transmission_time(0, 10e9).ns(), 0);
+}
+
+TEST(TransmissionTime, RejectsNonPositiveRate) {
+  EXPECT_THROW(transmission_time(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(transmission_time(100, -1e9), std::invalid_argument);
+}
+
+// Property sweep: transmission time is additive in bytes and inversely
+// proportional to rate.
+class TransmissionTimeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransmissionTimeSweep, LinearInBytes) {
+  const std::uint64_t bytes = GetParam();
+  const auto one = transmission_time(bytes, 10e9);
+  const auto twice = transmission_time(2 * bytes, 10e9);
+  EXPECT_NEAR(static_cast<double>(twice.ns()), 2.0 * static_cast<double>(one.ns()), 1.0);
+  const auto half_rate = transmission_time(bytes, 5e9);
+  EXPECT_NEAR(static_cast<double>(half_rate.ns()), 2.0 * static_cast<double>(one.ns()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, TransmissionTimeSweep,
+                         ::testing::Values(40, 64, 576, 1500, 9000, 65535));
+
+}  // namespace
+}  // namespace rlir::timebase

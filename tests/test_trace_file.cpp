@@ -1,0 +1,92 @@
+// Unit tests: trace/trace_file.h — binary trace persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/synthetic.h"
+#include "trace/trace_file.h"
+
+namespace rlir::trace {
+namespace {
+
+std::vector<net::Packet> sample_packets() {
+  SyntheticConfig cfg;
+  cfg.duration = timebase::Duration::milliseconds(5);
+  cfg.offered_bps = 1e9;
+  cfg.seed = 99;
+  auto packets = SyntheticTraceGenerator(cfg).generate_all();
+  // Add a reference packet to cover all fields.
+  auto ref = net::make_reference_packet(7, timebase::TimePoint(123),
+                                        timebase::TimePoint(456), 999);
+  ref.tos = 3;
+  packets.push_back(ref);
+  return packets;
+}
+
+void expect_equal(const net::Packet& a, const net::Packet& b) {
+  EXPECT_EQ(a.ts, b.ts);
+  EXPECT_EQ(a.injected_at, b.injected_at);
+  EXPECT_EQ(a.ref_stamp, b.ref_stamp);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.size_bytes, b.size_bytes);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.sender, b.sender);
+  EXPECT_EQ(a.tos, b.tos);
+  EXPECT_EQ(a.seq, b.seq);
+}
+
+TEST(TraceFile, StreamRoundTrip) {
+  const auto packets = sample_packets();
+  std::stringstream buffer;
+  TraceWriter::write(buffer, packets);
+  const auto loaded = TraceReader::read(buffer);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) expect_equal(packets[i], loaded[i]);
+}
+
+TEST(TraceFile, FileRoundTrip) {
+  const auto packets = sample_packets();
+  const std::string path = ::testing::TempDir() + "/rlir_trace_test.bin";
+  TraceWriter::write_file(path, packets);
+  const auto loaded = TraceReader::read_file(path);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) expect_equal(packets[i], loaded[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceRoundTrip) {
+  std::stringstream buffer;
+  TraceWriter::write(buffer, {});
+  EXPECT_TRUE(TraceReader::read(buffer).empty());
+}
+
+TEST(TraceFile, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOPE-this-is-not-a-trace";
+  EXPECT_THROW((void)TraceReader::read(buffer), std::runtime_error);
+}
+
+TEST(TraceFile, TruncatedHeaderRejected) {
+  std::stringstream buffer;
+  buffer << "RLTR\x01";
+  EXPECT_THROW((void)TraceReader::read(buffer), std::runtime_error);
+}
+
+TEST(TraceFile, TruncatedRecordsRejected) {
+  const auto packets = sample_packets();
+  std::stringstream buffer;
+  TraceWriter::write(buffer, packets);
+  std::string data = buffer.str();
+  data.resize(data.size() - 10);  // chop the last record
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)TraceReader::read(truncated), std::runtime_error);
+}
+
+TEST(TraceFile, MissingFileRejected) {
+  EXPECT_THROW((void)TraceReader::read_file("/nonexistent/path/trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlir::trace
