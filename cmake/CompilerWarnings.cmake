@@ -1,0 +1,24 @@
+# Compiler-flag, warning, and sanitizer conventions shared by every target
+# (tests, benches, examples included) via the rlir_options interface library.
+# Keep the build warning-free: these flags are conventions, not suggestions.
+add_library(rlir_options INTERFACE)
+
+# Release builds pin -O2 (overriding CMake's -O3 default) so perf numbers
+# are comparable across machines and CI; Debug keeps -O0 so sanitizer and
+# debugger frames stay readable.
+target_compile_options(rlir_options INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Wshadow -Wpedantic>
+  $<$<AND:$<CXX_COMPILER_ID:GNU,Clang,AppleClang>,$<CONFIG:Release>>:-O2>)
+
+# Sanitizers apply directory-wide (not via rlir_options) so third-party code
+# built in-tree — a FetchContent'd googletest in particular — is instrumented
+# too; mixing instrumented tests with an uninstrumented gtest risks ASan
+# container-overflow false positives at the boundary.
+if(RLIR_SANITIZE)
+  add_compile_options(
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=address,undefined>
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fno-omit-frame-pointer>
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-g>)
+  add_link_options(
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=address,undefined>)
+endif()

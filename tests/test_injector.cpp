@@ -1,0 +1,110 @@
+// Unit tests: sim/injector.h — the ReferenceInjector interface contract, via
+// a minimal 1-and-n test implementation and the production RliSender used
+// polymorphically through the base pointer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+#include "rli/sender.h"
+#include "sim/injector.h"
+#include "timebase/clock.h"
+#include "timebase/time.h"
+
+namespace rlir::sim {
+namespace {
+
+using timebase::TimePoint;
+
+net::Packet regular_packet(std::uint64_t seq, TimePoint ts) {
+  net::Packet p;
+  p.seq = seq;
+  p.ts = ts;
+  p.injected_at = ts;
+  p.size_bytes = 1000;
+  return p;
+}
+
+// Minimal conforming implementation: one probe after every n regular packets,
+// stamped with the observed packet's ts.
+class EveryNInjector final : public ReferenceInjector {
+ public:
+  explicit EveryNInjector(std::uint32_t n) : n_(n) {}
+
+  [[nodiscard]] std::optional<net::Packet> on_regular_packet(
+      const net::Packet& packet) override {
+    if (++count_ % n_ != 0) return std::nullopt;
+    return net::make_reference_packet(/*id=*/7, packet.ts, packet.ts, next_seq_++);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t count_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(ReferenceInjector, EveryNInjectsAtTheConfiguredGap) {
+  EveryNInjector impl(3);
+  ReferenceInjector* injector = &impl;  // exercise virtual dispatch
+
+  int probes = 0;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    auto ref = injector->on_regular_packet(regular_packet(i, TimePoint(i * 100)));
+    if ((i + 1) % 3 == 0) {
+      ASSERT_TRUE(ref.has_value()) << "expected probe after packet " << i;
+      EXPECT_TRUE(ref->is_reference());
+      EXPECT_EQ(ref->sender, 7);
+      // The probe rides directly behind the packet that triggered it.
+      EXPECT_EQ(ref->ts, TimePoint(i * 100));
+      ++probes;
+    } else {
+      EXPECT_FALSE(ref.has_value()) << "unexpected probe after packet " << i;
+    }
+  }
+  EXPECT_EQ(probes, 3);
+}
+
+TEST(ReferenceInjector, RliSenderWorksThroughTheBasePointer) {
+  timebase::PerfectClock clock;
+  rli::SenderConfig cfg;
+  cfg.scheme = rli::InjectionScheme::kStatic;
+  cfg.static_gap = 10;
+  rli::RliSender sender(cfg, &clock);
+  ReferenceInjector* injector = &sender;
+
+  std::uint64_t probes = 0;
+  const std::uint64_t regulars = 100;
+  for (std::uint64_t i = 0; i < regulars; ++i) {
+    auto ref = injector->on_regular_packet(
+        regular_packet(i, TimePoint(static_cast<std::int64_t>(i) * 1'000)));
+    if (ref.has_value()) {
+      EXPECT_TRUE(ref->is_reference());
+      EXPECT_EQ(ref->sender, cfg.id);
+      ++probes;
+    }
+  }
+  // Static 1-and-10 over 100 regular packets: exactly 10 probes.
+  EXPECT_EQ(probes, 10u);
+  EXPECT_EQ(sender.references_injected(), probes);
+  EXPECT_EQ(sender.regular_observed(), regulars);
+}
+
+TEST(ReferenceInjector, ProbeSequenceNumbersAreDistinct) {
+  EveryNInjector impl(1);
+  ReferenceInjector* injector = &impl;
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto ref = injector->on_regular_packet(regular_packet(i, TimePoint(i)));
+    ASSERT_TRUE(ref.has_value());
+    if (!first) {
+      EXPECT_NE(ref->seq, prev_seq);
+    }
+    prev_seq = ref->seq;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace rlir::sim

@@ -88,7 +88,7 @@ TEST(Ipv4Prefix, SizeAndAddressAt) {
   EXPECT_EQ(p.size(), 256u);
   EXPECT_EQ(p.address_at(0), Ipv4Address(10, 1, 2, 0));
   EXPECT_EQ(p.address_at(255), Ipv4Address(10, 1, 2, 255));
-  EXPECT_THROW(p.address_at(256), std::out_of_range);
+  EXPECT_THROW((void)p.address_at(256), std::out_of_range);
 
   const Ipv4Prefix host(Ipv4Address(1, 2, 3, 4), 32);
   EXPECT_EQ(host.size(), 1u);

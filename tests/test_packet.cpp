@@ -1,0 +1,88 @@
+// Unit tests: net/packet.h — the packet metadata record and reference-packet
+// construction.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/packet.h"
+#include "timebase/time.h"
+
+namespace rlir::net {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+TEST(PacketKindName, CoversAllKinds) {
+  EXPECT_STREQ(to_string(PacketKind::kRegular), "regular");
+  EXPECT_STREQ(to_string(PacketKind::kCross), "cross");
+  EXPECT_STREQ(to_string(PacketKind::kReference), "reference");
+}
+
+TEST(Packet, DefaultsAreRegularAndUnowned) {
+  Packet p;
+  EXPECT_EQ(p.kind, PacketKind::kRegular);
+  EXPECT_FALSE(p.is_reference());
+  EXPECT_EQ(p.sender, kNoSender);
+  EXPECT_EQ(p.tos, 0);
+  EXPECT_EQ(p.seq, 0u);
+  EXPECT_EQ(p.size_bytes, 0u);
+  EXPECT_EQ(p.ts, TimePoint::zero());
+  EXPECT_EQ(p.injected_at, TimePoint::zero());
+}
+
+TEST(Packet, TrueDelayIsTsMinusInjection) {
+  Packet p;
+  p.injected_at = TimePoint(1'000);
+  p.ts = TimePoint(4'500);
+  EXPECT_EQ(p.true_delay(), Duration(3'500));
+
+  // ts is mutated by each queue; true_delay tracks it.
+  p.ts += Duration::microseconds(2);
+  EXPECT_EQ(p.true_delay(), Duration(5'500));
+}
+
+TEST(Packet, ToStringMentionsKindSeqAndSize) {
+  Packet p;
+  p.seq = 42;
+  p.size_bytes = 1500;
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("regular"), std::string::npos);
+  EXPECT_NE(s.find("seq=42"), std::string::npos);
+  EXPECT_NE(s.find("1500B"), std::string::npos);
+}
+
+TEST(MakeReferencePacket, StampsSenderTimeAndKind) {
+  const TimePoint now(7'000'000);
+  const TimePoint stamp(7'000'250);  // skewed sender clock
+  const Packet p = make_reference_packet(/*id=*/3, now, stamp, /*seq=*/99);
+
+  EXPECT_TRUE(p.is_reference());
+  EXPECT_EQ(p.kind, PacketKind::kReference);
+  EXPECT_EQ(p.sender, 3);
+  EXPECT_EQ(p.ts, now);
+  EXPECT_EQ(p.injected_at, now);
+  EXPECT_EQ(p.ref_stamp, stamp);
+  EXPECT_EQ(p.seq, 99u);
+  // Probes are minimum-size by default (they carry only a timestamp).
+  EXPECT_EQ(p.size_bytes, 64u);
+  EXPECT_EQ(p.true_delay(), Duration::zero());
+}
+
+TEST(MakeReferencePacket, HonorsCustomSize) {
+  const Packet p =
+      make_reference_packet(/*id=*/1, TimePoint::zero(), TimePoint::zero(), /*seq=*/0,
+                            /*size_bytes=*/128);
+  EXPECT_EQ(p.size_bytes, 128u);
+}
+
+TEST(MakeReferencePacket, ToStringIncludesSenderAndStamp) {
+  const Packet p = make_reference_packet(/*id=*/5, TimePoint(1), TimePoint(2), /*seq=*/7);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("reference"), std::string::npos);
+  EXPECT_NE(s.find("sender=5"), std::string::npos);
+  EXPECT_NE(s.find("stamp="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlir::net

@@ -20,8 +20,8 @@ TEST(Placement, PaperFormulasAtK8) {
 }
 
 TEST(Placement, RejectsInvalidK) {
-  EXPECT_THROW(rlir_instances(3, DeploymentGranularity::kTorPair), std::invalid_argument);
-  EXPECT_THROW(full_deployment_instances(0), std::invalid_argument);
+  EXPECT_THROW((void)rlir_instances(3, DeploymentGranularity::kTorPair), std::invalid_argument);
+  EXPECT_THROW((void)full_deployment_instances(0), std::invalid_argument);
 }
 
 TEST(Placement, FullDeploymentExactCount) {

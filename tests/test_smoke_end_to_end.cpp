@@ -1,0 +1,88 @@
+// Deterministic end-to-end smoke test: the canary for refactors.
+//
+// A tiny fixed-seed two-hop RLI experiment through the shared harness
+// (exp::run_two_hop_experiment — the same path every bench binary takes).
+// Asserts the per-flow latency estimates land within a loose tolerance of
+// ground truth, and that the whole run is bit-for-bit repeatable. If a
+// refactor breaks packet flow, interpolation, or the accuracy join, this
+// fails in under a second.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/experiment.h"
+
+namespace rlir {
+namespace {
+
+struct SmokeOutput {
+  exp::ExperimentResult result;
+  double est_mean_ns = 0.0;    // fleet-wide average of per-flow estimated means
+  double truth_mean_ns = 0.0;  // same, from ground truth
+};
+
+SmokeOutput run_smoke() {
+  exp::ExperimentConfig cfg;
+  cfg.duration = timebase::Duration::milliseconds(40);
+  cfg.regular_utilization = 0.25;
+  cfg.target_utilization = 0.85;
+  cfg.scheme = rli::InjectionScheme::kStatic;
+  cfg.static_gap = 50;
+  cfg.seed = 12345;
+
+  SmokeOutput out;
+  out.result = exp::run_two_hop_experiment(cfg);
+
+  double truth_sum = 0.0, est_sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& s : out.result.report.samples()) {
+    truth_sum += s.true_mean;
+    est_sum += s.est_mean;
+    ++n;
+  }
+  if (n > 0) {
+    out.truth_mean_ns = truth_sum / static_cast<double>(n);
+    out.est_mean_ns = est_sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+TEST(SmokeEndToEnd, EstimatesLandNearGroundTruth) {
+  const auto out = run_smoke();
+
+  // The experiment actually happened: traffic flowed and probes were injected.
+  ASSERT_GT(out.result.pipeline.regular_delivered, 1'000u);
+  ASSERT_GT(out.result.pipeline.cross_delivered, 1'000u);
+  ASSERT_GT(out.result.references_injected, 10u);
+  ASSERT_GT(out.result.report.flow_count(), 10u);
+  EXPECT_NEAR(out.result.measured_utilization, 0.85, 0.08);
+
+  // Loose per-flow tolerance: at ~85% bottleneck utilization the paper's
+  // scheme achieves a few percent median relative error; 35% is the canary
+  // threshold, not a precision claim.
+  EXPECT_LT(out.result.report.median_mean_error(), 0.35);
+
+  // The fleet-wide average estimate must be the right order of magnitude too
+  // (catches systematic bias that per-flow relative error could mask).
+  ASSERT_GT(out.truth_mean_ns, 0.0);
+  EXPECT_NEAR(out.est_mean_ns / out.truth_mean_ns, 1.0, 0.35);
+}
+
+TEST(SmokeEndToEnd, FixedSeedRunIsBitForBitRepeatable) {
+  const auto a = run_smoke();
+  const auto b = run_smoke();
+
+  EXPECT_EQ(a.result.pipeline.regular_delivered, b.result.pipeline.regular_delivered);
+  EXPECT_EQ(a.result.pipeline.cross_delivered, b.result.pipeline.cross_delivered);
+  EXPECT_EQ(a.result.pipeline.regular_dropped, b.result.pipeline.regular_dropped);
+  EXPECT_EQ(a.result.references_injected, b.result.references_injected);
+  EXPECT_EQ(a.result.report.flow_count(), b.result.report.flow_count());
+  EXPECT_DOUBLE_EQ(a.result.report.median_mean_error(),
+                   b.result.report.median_mean_error());
+  EXPECT_DOUBLE_EQ(a.result.true_mean_latency_ns, b.result.true_mean_latency_ns);
+  EXPECT_DOUBLE_EQ(a.est_mean_ns, b.est_mean_ns);
+  EXPECT_DOUBLE_EQ(a.truth_mean_ns, b.truth_mean_ns);
+}
+
+}  // namespace
+}  // namespace rlir

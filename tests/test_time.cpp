@@ -95,8 +95,8 @@ TEST(TransmissionTime, BasicRates) {
 }
 
 TEST(TransmissionTime, RejectsNonPositiveRate) {
-  EXPECT_THROW(transmission_time(100, 0.0), std::invalid_argument);
-  EXPECT_THROW(transmission_time(100, -1e9), std::invalid_argument);
+  EXPECT_THROW((void)transmission_time(100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)transmission_time(100, -1e9), std::invalid_argument);
 }
 
 // Property sweep: transmission time is additive in bytes and inversely
