@@ -1,0 +1,141 @@
+// Collection-tier throughput baseline: how fast estimates fold into
+// sketches, how compact the wire format is, and how fast the sharded
+// collector ingests record batches.
+//
+// Pipeline measured (the deployment data path end to end):
+//   synthetic trace --stream--> exporter sketches --drain--> wire bytes
+//   --decode--> sharded collector --> fleet queries
+//
+// Prints one "name value unit" row per metric. `--smoke` shrinks every
+// count so CI can run the whole harness in well under a second; `--packets`
+// and `--shards` override the defaults for manual investigation.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "collect/exporter.h"
+#include "collect/sharded_collector.h"
+#include "common/rng.h"
+#include "trace/synthetic.h"
+#include "trace/trace_file.h"
+
+namespace rlir {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  // Floor keeps the rate divisions finite in --smoke runs.
+  return std::max(std::chrono::duration<double>(Clock::now() - start).count(), 1e-9);
+}
+
+void print_metric(const char* name, double value, const char* unit) {
+  std::printf("%-28s %14.3f %s\n", name, value, unit);
+}
+
+int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epochs) {
+  // --- Stage 0: a realistic flow-skewed workload, persisted and then
+  // streamed back (TraceReader::for_each keeps ingest memory flat).
+  trace::SyntheticConfig trace_cfg;
+  trace_cfg.duration = timebase::Duration::milliseconds(
+      static_cast<std::int64_t>(target_packets / 400 + 1));
+  trace_cfg.seed = 42;
+  std::stringstream trace_stream;
+  {
+    trace::SyntheticTraceGenerator gen(trace_cfg);
+    std::vector<net::Packet> packets;
+    packets.reserve(target_packets);
+    while (packets.size() < target_packets) {
+      auto pkt = gen.next();
+      if (!pkt) break;
+      packets.push_back(*pkt);
+    }
+    trace::TraceWriter::write(trace_stream, packets);
+  }
+
+  // --- Stage 1: exporter ingest (per-packet estimate -> per-flow sketch).
+  // Latencies are synthetic (log-normal around ~80us, the paper's loaded-
+  // queue scale); the estimate path doesn't care where the number came from.
+  collect::EstimateExporter exporter(
+      collect::ExporterConfig{common::LatencySketchConfig{}, 0});
+  common::Xoshiro256 latency_rng(7);
+  const auto ingest_start = Clock::now();
+  const std::uint64_t streamed = trace::TraceReader::for_each(
+      trace_stream, [&](const net::Packet& pkt) {
+        const double latency_ns = latency_rng.lognormal(std::log(80e3), 0.6);
+        exporter.observe(net::kNoSender,
+                         rli::RliReceiver::PacketEstimate{pkt.key, pkt.ts, latency_ns});
+      });
+  const double ingest_s = seconds_since(ingest_start);
+  print_metric("estimates_ingested", static_cast<double>(streamed), "estimates");
+  print_metric("exporter_flows", static_cast<double>(exporter.flow_count()), "flows");
+  print_metric("exporter_rate", static_cast<double>(streamed) / ingest_s, "estimates/s");
+
+  // --- Stage 2: wire format density.
+  const auto records = exporter.drain(/*epoch=*/0);
+  const auto bytes = collect::encode_records(records);
+  print_metric("wire_bytes_per_record",
+               static_cast<double>(bytes.size()) / static_cast<double>(records.size()),
+               "bytes");
+  print_metric("wire_bytes_per_estimate",
+               static_cast<double>(bytes.size()) / static_cast<double>(streamed), "bytes");
+
+  // --- Stage 3: collector ingest across epochs (decode + shard + merge).
+  collect::CollectorConfig collector_cfg;
+  collector_cfg.shard_count = shard_count;
+  collect::ShardedCollector collector(collector_cfg);
+  const auto collect_start = Clock::now();
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    auto batch = collect::decode_records(bytes.data(), bytes.size());
+    for (auto& r : batch) r.epoch = epoch;
+    collector.ingest(batch);
+  }
+  const double collect_s = seconds_since(collect_start);
+  const double total_records = static_cast<double>(records.size()) * epochs;
+  print_metric("collector_records", total_records, "records");
+  print_metric("collector_rate", total_records / collect_s, "records/s");
+  print_metric("collector_estimate_rate",
+               static_cast<double>(collector.estimates_ingested()) / collect_s,
+               "estimates/s");
+
+  // --- Stage 4: query sanity + memory accounting.
+  const auto fleet = collector.fleet();
+  print_metric("fleet_p50", fleet.quantile(0.5) / 1e3, "us");
+  print_metric("fleet_p99", fleet.quantile(0.99) / 1e3, "us");
+  const auto top = collector.top_k_flows(3, 0.99);
+  print_metric("top_flow_p99", top.empty() ? 0.0 : top.front().p99_ns / 1e3, "us");
+  print_metric("collector_flows", static_cast<double>(collector.flow_count()), "flows");
+  print_metric("bytes_per_flow",
+               static_cast<double>(collector.approx_flow_bytes()) /
+                   static_cast<double>(collector.flow_count()),
+               "bytes");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rlir
+
+int main(int argc, char** argv) {
+  std::uint64_t packets = 500'000;
+  std::size_t shards = 8;
+  std::uint32_t epochs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      packets = 2'000;
+      epochs = 2;
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--packets N] [--shards N]\n", argv[0]);
+      return 2;
+    }
+  }
+  return rlir::run(packets, shards, epochs);
+}

@@ -10,6 +10,14 @@ target_compile_options(rlir_options INTERFACE
   $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Wshadow -Wpedantic>
   $<$<AND:$<CXX_COMPILER_ID:GNU,Clang,AppleClang>,$<CONFIG:Release>>:-O2>)
 
+# -Werror rides on rlir_options so it applies to project targets only —
+# third-party code fetched in-tree (googletest, google-benchmark) builds with
+# its own flags and cannot break the build with warnings we don't own.
+if(RLIR_WERROR)
+  target_compile_options(rlir_options INTERFACE
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+endif()
+
 # Sanitizers apply directory-wide (not via rlir_options) so third-party code
 # built in-tree — a FetchContent'd googletest in particular — is instrumented
 # too; mixing instrumented tests with an uninstrumented gtest risks ASan

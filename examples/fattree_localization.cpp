@@ -6,11 +6,16 @@
 // paper's partial placement). One core is secretly slow. The example:
 //   1. wires up upstream (ToR->core) and downstream (core->ToR) measurement,
 //   2. demultiplexes downstream traffic by reverse-ECMP computation,
-//   3. localizes the slow switch from the per-segment estimates alone.
+//   3. localizes the slow switch from the per-segment estimates alone,
+//   4. feeds every vantage's estimates through the collection tier and asks
+//      it which flows the fault actually hurt (localization says *where*,
+//      the collector says *who*).
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "collect/exporter.h"
+#include "collect/sharded_collector.h"
 #include "rli/receiver.h"
 #include "rli/sender.h"
 #include "rlir/demux.h"
@@ -56,6 +61,8 @@ int run_example() {
   }
   rlir::RlirReceiver down_receiver(rli::ReceiverConfig{}, &clock, &demux);
   sim.add_arrival_tap(dst, &down_receiver);
+  collect::EstimateExporter down_exporter(collect::ExporterConfig{{}, /*link=*/0});
+  down_exporter.attach(down_receiver);
 
   // --- Upstream instrumentation: senders at T1/T2, receivers at each core.
   std::vector<topo::NodeId> cores;
@@ -74,10 +81,14 @@ int run_example() {
   up_demux.add_origin(topo.host_prefix(src_a), 1);
   up_demux.add_origin(topo.host_prefix(src_b), 2);
   std::vector<std::unique_ptr<rlir::RlirReceiver>> up_receivers;
+  std::vector<std::unique_ptr<collect::EstimateExporter>> up_exporters;
   for (const auto& core : cores) {
     up_receivers.push_back(
         std::make_unique<rlir::RlirReceiver>(rli::ReceiverConfig{}, &clock, &up_demux));
     sim.add_arrival_tap(core, up_receivers.back().get());
+    up_exporters.push_back(std::make_unique<collect::EstimateExporter>(
+        collect::ExporterConfig{{}, static_cast<collect::LinkId>(up_exporters.size() + 1)}));
+    up_exporters.back()->attach(*up_receivers.back());
   }
 
   // --- Traffic.
@@ -117,6 +128,25 @@ int run_example() {
   for (const auto& finding : localizer.localize(3.0)) {
     std::printf("  %-18s score %6.1f %s\n", finding.segment.c_str(), finding.score,
                 finding.anomalous ? "<-- ANOMALOUS" : "");
+  }
+
+  // --- Collection tier: same estimates, flow-centric answer. Every
+  // vantage's sketches travel the binary wire format into the sharded
+  // collector, which names the flows the slow core actually hurt.
+  collect::ShardedCollector collector;
+  const auto ship = [&collector](collect::EstimateExporter& exporter) {
+    const auto bytes = collect::encode_records(exporter.drain(/*epoch=*/0));
+    collector.ingest(collect::decode_records(bytes.data(), bytes.size()));
+  };
+  ship(down_exporter);
+  for (auto& exporter : up_exporters) ship(*exporter);
+
+  std::printf("\ncollector view (%zu flows, %llu estimates): worst flows by p99\n",
+              collector.flow_count(),
+              static_cast<unsigned long long>(collector.estimates_ingested()));
+  for (const auto& flow : collector.top_k_flows(5, 0.99)) {
+    std::printf("  %-44s %5llu pkts  p99 %8.1fus\n", flow.key.to_string().c_str(),
+                static_cast<unsigned long long>(flow.packets), flow.p99_ns / 1e3);
   }
   return 0;
 }

@@ -1,0 +1,152 @@
+#include "collect/estimate_record.h"
+
+#include <array>
+#include <cmath>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/wire.h"
+
+namespace rlir::collect {
+
+namespace {
+
+using common::wire::put;
+using common::wire::put_f64;
+using common::wire::take;
+using common::wire::take_f64;
+
+constexpr std::array<char, 4> kMagic = {'R', 'L', 'E', 'S'};
+constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 8;      // magic, version, count
+constexpr std::size_t kRecordFixedSize = 13 + 4 + 2 + 4 +      // key, link, sender, epoch
+                                         8 + 4 +               // accuracy, max_bins
+                                         8 + 8 + 8 + 8 + 4;    // zero, sum, min, max, bin count
+constexpr std::size_t kBinSize = 4 + 8;                        // index, count
+/// Corruption guard: no honest sketch carries this many bins.
+constexpr std::uint32_t kMaxWireBins = 1u << 20;
+
+void encode_record(const EstimateRecord& r, std::uint8_t*& p) {
+  put<std::uint32_t>(p, r.key.src.value());
+  put<std::uint32_t>(p, r.key.dst.value());
+  put<std::uint16_t>(p, r.key.src_port);
+  put<std::uint16_t>(p, r.key.dst_port);
+  put<std::uint8_t>(p, r.key.proto);
+  put<std::uint32_t>(p, r.link);
+  put<std::uint16_t>(p, r.sender);
+  put<std::uint32_t>(p, r.epoch);
+  put_f64(p, r.sketch.config().relative_accuracy);
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(r.sketch.config().max_bins));
+  put<std::uint64_t>(p, r.sketch.zero_count());
+  put_f64(p, r.sketch.sum());
+  put_f64(p, r.sketch.min());
+  put_f64(p, r.sketch.max());
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(r.sketch.bin_count()));
+  for (const auto& [index, count] : r.sketch.bins()) {
+    put<std::int32_t>(p, index);
+    put<std::uint64_t>(p, count);
+  }
+}
+
+/// Parses one record at `p`, bounds-checked against `end`.
+EstimateRecord decode_record(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < kRecordFixedSize) {
+    throw std::runtime_error("EstimateRecord: truncated record");
+  }
+  EstimateRecord r;
+  r.key.src = net::Ipv4Address(take<std::uint32_t>(p));
+  r.key.dst = net::Ipv4Address(take<std::uint32_t>(p));
+  r.key.src_port = take<std::uint16_t>(p);
+  r.key.dst_port = take<std::uint16_t>(p);
+  r.key.proto = take<std::uint8_t>(p);
+  r.link = take<std::uint32_t>(p);
+  r.sender = take<std::uint16_t>(p);
+  r.epoch = take<std::uint32_t>(p);
+  common::LatencySketchConfig config;
+  config.relative_accuracy = take_f64(p);
+  config.max_bins = take<std::uint32_t>(p);
+  const auto zero_count = take<std::uint64_t>(p);
+  const double sum = take_f64(p);
+  const double min = take_f64(p);
+  const double max = take_f64(p);
+  // A NaN/Inf here would silently poison every aggregate it merges into;
+  // honest encoders only ever produce finite moments.
+  if (!std::isfinite(sum) || !std::isfinite(min) || !std::isfinite(max)) {
+    throw std::runtime_error("EstimateRecord: non-finite sketch moments (corrupt input)");
+  }
+  const auto bin_count = take<std::uint32_t>(p);
+  if (bin_count > kMaxWireBins) {
+    throw std::runtime_error("EstimateRecord: implausible bin count (corrupt input)");
+  }
+  if (static_cast<std::size_t>(end - p) < static_cast<std::size_t>(bin_count) * kBinSize) {
+    throw std::runtime_error("EstimateRecord: truncated bins");
+  }
+  common::LatencySketch::BinMap bins;
+  for (std::uint32_t i = 0; i < bin_count; ++i) {
+    const auto index = take<std::int32_t>(p);
+    const auto count = take<std::uint64_t>(p);
+    bins[index] += count;
+  }
+  try {
+    r.sketch = common::LatencySketch::from_parts(config, zero_count, sum, min, max,
+                                                 std::move(bins));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("EstimateRecord: corrupt sketch config: ") + e.what());
+  }
+  return r;
+}
+
+}  // namespace
+
+std::size_t wire_size(const EstimateRecord& record) {
+  return kRecordFixedSize + record.sketch.bin_count() * kBinSize;
+}
+
+std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& records) {
+  std::size_t total = kHeaderSize;
+  for (const auto& r : records) total += wire_size(r);
+  std::vector<std::uint8_t> buf(total);
+  std::uint8_t* p = buf.data();
+  for (char c : kMagic) put<std::uint8_t>(p, static_cast<std::uint8_t>(c));
+  put<std::uint32_t>(p, kEstimateWireVersion);
+  put<std::uint64_t>(p, records.size());
+  for (const auto& r : records) encode_record(r, p);
+  return buf;
+}
+
+std::vector<EstimateRecord> decode_records(const std::uint8_t* data, std::size_t size) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* end = data + size;
+  if (size < kHeaderSize) throw std::runtime_error("EstimateRecord: truncated header");
+  for (char c : kMagic) {
+    if (take<std::uint8_t>(p) != static_cast<std::uint8_t>(c)) {
+      throw std::runtime_error("EstimateRecord: bad magic");
+    }
+  }
+  const auto version = take<std::uint32_t>(p);
+  if (version != kEstimateWireVersion) {
+    throw std::runtime_error("EstimateRecord: unsupported version " + std::to_string(version));
+  }
+  const auto count = take<std::uint64_t>(p);
+  std::vector<EstimateRecord> records;
+  if (count < (1u << 20)) records.reserve(count);  // don't trust a corrupt count
+  for (std::uint64_t i = 0; i < count; ++i) {
+    records.push_back(decode_record(p, end));
+  }
+  if (p != end) throw std::runtime_error("EstimateRecord: trailing bytes after batch");
+  return records;
+}
+
+void write_records(std::ostream& out, const std::vector<EstimateRecord>& records) {
+  const auto buf = encode_records(records);
+  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("EstimateRecord: stream write failed");
+}
+
+std::vector<EstimateRecord> read_records(std::istream& in) {
+  std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(in), {});
+  return decode_records(buf.data(), buf.size());
+}
+
+}  // namespace rlir::collect

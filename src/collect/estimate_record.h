@@ -1,0 +1,61 @@
+// The estimate-record wire format: how receivers ship per-flow latency
+// summaries to the collection tier.
+//
+// A record is one flow's latency sketch for one epoch as seen from one
+// vantage point (a deployed RLIR receiver, identified by LinkId). Records
+// travel in batches with a self-describing header, mirroring the trace-file
+// conventions (little-endian, magic + version, field-by-field packing):
+//
+//   batch:   magic "RLES" | u32 version | u64 record count
+//   record:  5-tuple (4+4+2+2+1) | u32 link | u16 sender | u32 epoch
+//            | f64 relative_accuracy | u32 max_bins
+//            | u64 zero_count | f64 sum | f64 min | f64 max
+//            | u32 bin_count | bin_count x (i32 index, u64 count)
+//
+// Decoding rejects bad magic, unsupported versions, truncated input, and
+// implausible bin counts (corruption guard) with std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+#include "net/packet.h"
+
+namespace rlir::collect {
+
+inline constexpr std::uint32_t kEstimateWireVersion = 1;
+
+/// Vantage-point identifier: which deployed receiver (router interface)
+/// produced a record. Assigned by the collection tier at deployment.
+using LinkId = std::uint32_t;
+inline constexpr LinkId kNoLink = 0xffffffff;
+
+struct EstimateRecord {
+  net::FiveTuple key;
+  LinkId link = kNoLink;
+  /// RLI sender whose references anchored the estimates (provenance).
+  net::SenderId sender = net::kNoSender;
+  /// Collection epoch the estimates belong to; merging across epochs is the
+  /// collector's job.
+  std::uint32_t epoch = 0;
+  common::LatencySketch sketch;
+};
+
+/// Serializes a batch. Throws std::runtime_error on stream failure.
+void write_records(std::ostream& out, const std::vector<EstimateRecord>& records);
+/// Deserializes a batch. Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<EstimateRecord> read_records(std::istream& in);
+
+/// Byte-buffer conveniences (what an RPC transport would carry).
+[[nodiscard]] std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& records);
+[[nodiscard]] std::vector<EstimateRecord> decode_records(const std::uint8_t* data,
+                                                         std::size_t size);
+
+/// Exact wire size of one record in bytes (memory/bandwidth accounting).
+[[nodiscard]] std::size_t wire_size(const EstimateRecord& record);
+
+}  // namespace rlir::collect

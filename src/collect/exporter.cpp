@@ -1,0 +1,46 @@
+#include "collect/exporter.h"
+
+#include <algorithm>
+
+namespace rlir::collect {
+
+void EstimateExporter::observe(net::SenderId sender,
+                               const rli::RliReceiver::PacketEstimate& estimate) {
+  auto it = flows_.find(estimate.key);
+  if (it == flows_.end()) {
+    it = flows_.emplace(estimate.key, FlowEntry{common::LatencySketch(config_.sketch), sender})
+             .first;
+  }
+  it->second.sketch.add(estimate.estimate_ns);
+  it->second.sender = sender;
+  ++observed_;
+}
+
+void EstimateExporter::attach(rli::RliReceiver& receiver, net::SenderId sender) {
+  receiver.add_estimate_sink(
+      [this, sender](const rli::RliReceiver::PacketEstimate& pe) { observe(sender, pe); });
+}
+
+void EstimateExporter::attach(rlir::RlirReceiver& receiver) {
+  receiver.add_estimate_sink(
+      [this](net::SenderId sender, const rli::RliReceiver::PacketEstimate& pe) {
+        observe(sender, pe);
+      });
+}
+
+std::vector<EstimateRecord> EstimateExporter::drain(std::uint32_t epoch) {
+  std::vector<EstimateRecord> records;
+  records.reserve(flows_.size());
+  for (auto& [key, entry] : flows_) {
+    records.push_back(EstimateRecord{key, config_.link, entry.sender, epoch,
+                                     std::move(entry.sketch)});
+  }
+  flows_.clear();
+  // Flow-key order keeps batches (and everything downstream of them)
+  // bit-reproducible across runs despite unordered_map iteration.
+  std::sort(records.begin(), records.end(),
+            [](const EstimateRecord& a, const EstimateRecord& b) { return a.key < b.key; });
+  return records;
+}
+
+}  // namespace rlir::collect

@@ -1,0 +1,63 @@
+// Receiver-side record production: folds the per-packet estimate stream of
+// one vantage point (an RLI or RLIR receiver) into bounded per-flow latency
+// sketches, and drains them as EstimateRecord batches at epoch boundaries.
+//
+// This is the piece that replaces "keep every estimate" with "keep a sketch
+// per flow": memory at the vantage point is O(flows x sketch bins), and the
+// drained records are what crosses the network to the sharded collector.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/estimate_record.h"
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+#include "rli/receiver.h"
+#include "rlir/receiver.h"
+
+namespace rlir::collect {
+
+struct ExporterConfig {
+  common::LatencySketchConfig sketch;
+  /// Vantage-point identity stamped into every drained record.
+  LinkId link = kNoLink;
+};
+
+class EstimateExporter {
+ public:
+  explicit EstimateExporter(ExporterConfig config) : config_(config) {}
+
+  /// Folds one estimate into its flow's sketch. `sender` is provenance only
+  /// (recorded per flow; a flow re-anchored by several senders keeps the
+  /// last one seen).
+  void observe(net::SenderId sender, const rli::RliReceiver::PacketEstimate& estimate);
+
+  /// Subscribes this exporter to a receiver's estimate stream (additional
+  /// sink; existing sinks keep working). The exporter must outlive the
+  /// receiver's last estimate.
+  void attach(rli::RliReceiver& receiver, net::SenderId sender = net::kNoSender);
+  void attach(rlir::RlirReceiver& receiver);
+
+  /// Ends the epoch: returns one record per flow observed since the last
+  /// drain, stamped with `epoch`, in deterministic (flow-key) order, and
+  /// resets the flow table for the next epoch.
+  [[nodiscard]] std::vector<EstimateRecord> drain(std::uint32_t epoch);
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t estimates_observed() const { return observed_; }
+  [[nodiscard]] const ExporterConfig& config() const { return config_; }
+
+ private:
+  struct FlowEntry {
+    common::LatencySketch sketch;
+    net::SenderId sender = net::kNoSender;
+  };
+
+  ExporterConfig config_;
+  std::unordered_map<net::FiveTuple, FlowEntry> flows_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace rlir::collect

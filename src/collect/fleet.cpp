@@ -1,0 +1,62 @@
+#include "collect/fleet.h"
+
+#include <stdexcept>
+
+namespace rlir::collect {
+
+FleetCollector::FleetCollector(FleetConfig config, const timebase::Clock* clock)
+    : config_(config), clock_(clock), collector_(config.collector) {
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("FleetCollector: clock must not be null");
+  }
+}
+
+LinkId FleetCollector::deploy(topo::FatTreeSim& sim, topo::NodeId node,
+                              const rlir::Demultiplexer* demux) {
+  const auto link = static_cast<LinkId>(vantages_.size());
+  Vantage v;
+  v.node = node;
+  v.receiver = std::make_unique<rlir::RlirReceiver>(config_.receiver, clock_, demux);
+  v.exporter = std::make_unique<EstimateExporter>(
+      ExporterConfig{config_.collector.sketch, link});
+  v.exporter->attach(*v.receiver);
+  sim.add_arrival_tap(node, v.receiver.get());
+  vantages_.push_back(std::move(v));
+  return link;
+}
+
+rlir::RlirReceiver& FleetCollector::receiver(LinkId link) {
+  return *vantages_.at(link).receiver;
+}
+
+const rlir::RlirReceiver& FleetCollector::receiver(LinkId link) const {
+  return *vantages_.at(link).receiver;
+}
+
+topo::NodeId FleetCollector::node(LinkId link) const { return vantages_.at(link).node; }
+
+std::size_t FleetCollector::collect_epoch(std::uint32_t epoch) {
+  std::size_t collected = 0;
+  for (auto& v : vantages_) {
+    const auto batch = v.exporter->drain(epoch);
+    if (batch.empty()) continue;
+    // Round-trip through the wire format: what a networked vantage would
+    // transmit is exactly what the collector ingests.
+    const auto bytes = encode_records(batch);
+    collector_.ingest(decode_records(bytes.data(), bytes.size()));
+    collected += batch.size();
+  }
+  return collected;
+}
+
+rli::FlowStatsMap FleetCollector::unsharded_estimates() const {
+  rli::FlowStatsMap merged;
+  for (const auto& v : vantages_) {
+    for (const auto& [key, stats] : v.receiver->merged_estimates()) {
+      merged[key].merge(stats);
+    }
+  }
+  return merged;
+}
+
+}  // namespace rlir::collect

@@ -1,0 +1,75 @@
+// Fleet wiring: deploys RLIR receivers as vantage points across a fat-tree
+// simulation and pumps their epoch record batches into a ShardedCollector —
+// the full paper-to-operator data path in one object:
+//
+//   taps (FatTreeSim arrivals) -> RlirReceiver streams -> per-packet
+//   estimates -> EstimateExporter sketches -> EstimateRecord batches (wire
+//   format) -> ShardedCollector shards -> fleet queries.
+//
+// Epoch batches really do round-trip through the binary wire format, so a
+// fleet run exercises exactly what a networked deployment would ship.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collect/exporter.h"
+#include "collect/sharded_collector.h"
+#include "rli/receiver.h"
+#include "rlir/demux.h"
+#include "rlir/receiver.h"
+#include "timebase/clock.h"
+#include "topo/fattree_sim.h"
+
+namespace rlir::collect {
+
+struct FleetConfig {
+  /// Configuration of every deployed receiver's interpolation streams.
+  rli::ReceiverConfig receiver;
+  CollectorConfig collector;
+};
+
+class FleetCollector {
+ public:
+  /// `clock` is borrowed by every deployed receiver and must outlive them.
+  FleetCollector(FleetConfig config, const timebase::Clock* clock);
+
+  /// Deploys a receiver at `node`'s arrival tap, using `demux` (borrowed) to
+  /// attribute regular packets. Call before sim.run(); the FleetCollector
+  /// must outlive the simulation. Returns the vantage's LinkId.
+  LinkId deploy(topo::FatTreeSim& sim, topo::NodeId node, const rlir::Demultiplexer* demux);
+
+  /// The receiver deployed as `link` (for assertions/extra instrumentation).
+  [[nodiscard]] rlir::RlirReceiver& receiver(LinkId link);
+  [[nodiscard]] const rlir::RlirReceiver& receiver(LinkId link) const;
+  [[nodiscard]] topo::NodeId node(LinkId link) const;
+  [[nodiscard]] std::size_t vantage_count() const { return vantages_.size(); }
+
+  /// Ends the epoch fleet-wide: drains every vantage's exporter, ships each
+  /// batch through the binary wire format, and ingests it. Returns the
+  /// number of records collected.
+  std::size_t collect_epoch(std::uint32_t epoch);
+
+  /// Per-flow estimates merged across every vantage the classic way
+  /// (unbounded FlowStatsMap union) — the ground truth the collector's
+  /// sketched answers are validated against.
+  [[nodiscard]] rli::FlowStatsMap unsharded_estimates() const;
+
+  [[nodiscard]] ShardedCollector& collector() { return collector_; }
+  [[nodiscard]] const ShardedCollector& collector() const { return collector_; }
+
+ private:
+  struct Vantage {
+    topo::NodeId node;
+    std::unique_ptr<rlir::RlirReceiver> receiver;
+    std::unique_ptr<EstimateExporter> exporter;
+  };
+
+  FleetConfig config_;
+  const timebase::Clock* clock_;
+  std::vector<Vantage> vantages_;
+  ShardedCollector collector_;
+};
+
+}  // namespace rlir::collect

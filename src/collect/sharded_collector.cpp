@@ -1,0 +1,189 @@
+#include "collect/sharded_collector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlir::collect {
+
+ShardedCollector::ShardedCollector(CollectorConfig config) : config_(config) {
+  if (config_.shard_count == 0) {
+    throw std::invalid_argument("ShardedCollector: shard_count must be >= 1");
+  }
+  shards_.resize(config_.shard_count);
+}
+
+void ShardedCollector::ingest(const EstimateRecord& record) {
+  // Reject before touching any state, so a mismatched record can't leave
+  // phantom empty flow/link entries behind.
+  if (record.sketch.config().relative_accuracy != config_.sketch.relative_accuracy) {
+    throw std::invalid_argument(
+        "ShardedCollector::ingest: record sketch accuracy differs from collector config");
+  }
+  Shard& shard = shards_[shard_for(record.key)];
+
+  auto [flow_it, inserted] =
+      shard.flows.try_emplace(record.key, common::LatencySketch(config_.sketch));
+  flow_it->second.merge(record.sketch);
+
+  // A link's records scatter across flow shards, so link aggregates are kept
+  // per shard and unioned at query time (exact merge makes that lossless).
+  auto [link_it, link_inserted] =
+      shard.links.try_emplace(record.link, common::LatencySketch(config_.sketch));
+  link_it->second.merge(record.sketch);
+
+  epochs_.insert(record.epoch);
+  ++records_;
+  estimates_ += record.sketch.count();
+}
+
+void ShardedCollector::ingest(const std::vector<EstimateRecord>& batch) {
+  for (const auto& record : batch) ingest(record);
+}
+
+void ShardedCollector::merge(const ShardedCollector& other) {
+  if (&other == this) {
+    // Self-merge would re-home link aggregates into shards still pending
+    // iteration and count them repeatedly; merging a snapshot gives the
+    // clean "every record twice" semantics instead.
+    const ShardedCollector snapshot(other);
+    merge(snapshot);
+    return;
+  }
+  // Same up-front rejection as ingest(): a mismatched replica must not
+  // leave phantom entries behind by throwing mid-merge. (Every sketch in
+  // `other` carries its config's accuracy — ingest enforced that.)
+  if (other.config_.sketch.relative_accuracy != config_.sketch.relative_accuracy) {
+    throw std::invalid_argument(
+        "ShardedCollector::merge: replica sketch accuracy differs from collector config");
+  }
+  for (const auto& shard : other.shards_) {
+    for (const auto& [key, sketch] : shard.flows) {
+      Shard& mine = shards_[shard_for(key)];
+      auto [it, inserted] = mine.flows.try_emplace(key, common::LatencySketch(config_.sketch));
+      it->second.merge(sketch);
+    }
+    for (const auto& [link_id, sketch] : shard.links) {
+      // Keep each link aggregate in a single home shard when re-merging so
+      // repeated replica unions don't scatter state: home = link % shards.
+      Shard& mine = shards_[link_id % config_.shard_count];
+      auto [it, inserted] = mine.links.try_emplace(link_id, common::LatencySketch(config_.sketch));
+      it->second.merge(sketch);
+    }
+  }
+  epochs_.insert(other.epochs_.begin(), other.epochs_.end());
+  records_ += other.records_;
+  estimates_ += other.estimates_;
+}
+
+const common::LatencySketch* ShardedCollector::flow(const net::FiveTuple& key) const {
+  const Shard& shard = shards_[shard_for(key)];
+  const auto it = shard.flows.find(key);
+  return it == shard.flows.end() ? nullptr : &it->second;
+}
+
+std::optional<double> ShardedCollector::flow_quantile(const net::FiveTuple& key, double q) const {
+  const auto* sketch = flow(key);
+  if (sketch == nullptr) return std::nullopt;
+  return sketch->quantile(q);
+}
+
+FlowSummary ShardedCollector::summarize(const net::FiveTuple& key,
+                                        const common::LatencySketch& sketch) const {
+  FlowSummary s;
+  s.key = key;
+  s.packets = sketch.count();
+  s.mean_ns = sketch.mean();
+  s.p50_ns = sketch.quantile(0.5);
+  s.p99_ns = sketch.quantile(0.99);
+  s.max_ns = sketch.max();
+  return s;
+}
+
+std::optional<FlowSummary> ShardedCollector::flow_summary(const net::FiveTuple& key) const {
+  const auto* sketch = flow(key);
+  if (sketch == nullptr) return std::nullopt;
+  return summarize(key, *sketch);
+}
+
+std::optional<common::LatencySketch> ShardedCollector::link_distribution(LinkId link_id) const {
+  common::LatencySketch merged(config_.sketch);
+  bool seen = false;
+  for (const auto& shard : shards_) {
+    const auto it = shard.links.find(link_id);
+    if (it != shard.links.end()) {
+      merged.merge(it->second);
+      seen = true;
+    }
+  }
+  if (!seen) return std::nullopt;
+  return merged;
+}
+
+std::vector<LinkId> ShardedCollector::links() const {
+  std::vector<LinkId> ids;
+  for (const auto& shard : shards_) {
+    for (const auto& [link_id, sketch] : shard.links) ids.push_back(link_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+common::LatencySketch ShardedCollector::fleet() const {
+  common::LatencySketch all(config_.sketch);
+  for (const auto& shard : shards_) {
+    for (const auto& [link_id, sketch] : shard.links) {
+      (void)link_id;
+      all.merge(sketch);
+    }
+  }
+  return all;
+}
+
+std::vector<FlowSummary> ShardedCollector::top_k_flows(std::size_t k, double q) const {
+  std::vector<std::pair<double, FlowSummary>> ranked;
+  ranked.reserve(flow_count());
+  for (const auto& shard : shards_) {
+    for (const auto& [key, sketch] : shard.flows) {
+      ranked.emplace_back(sketch.quantile(q), summarize(key, sketch));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second.key < b.second.key;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<FlowSummary> top;
+  top.reserve(ranked.size());
+  for (auto& [value, summary] : ranked) {
+    (void)value;
+    top.push_back(std::move(summary));
+  }
+  return top;
+}
+
+std::size_t ShardedCollector::flow_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.flows.size();
+  return n;
+}
+
+std::vector<std::size_t> ShardedCollector::shard_flow_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) counts.push_back(shard.flows.size());
+  return counts;
+}
+
+std::size_t ShardedCollector::approx_flow_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, sketch] : shard.flows) {
+      (void)key;
+      bytes += sketch.approx_bytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace rlir::collect

@@ -1,0 +1,117 @@
+// The fleet-side collection tier: ingests estimate-record batches from many
+// vantage points and answers latency queries across all of them.
+//
+// Records are routed by flow-key hash to one of N shards; each shard keeps a
+// flow table of merged sketches plus per-link (vantage) aggregates. Because
+// sketch merge is exact (bin-wise addition), any grouping of the same
+// records — by shard, by epoch, by collector replica — converges to the same
+// state, which is what makes the tier horizontally scalable: shards can live
+// on different machines and replicas can be merged pairwise.
+//
+// Query API: per-flow quantiles, per-link latency distributions, fleet-wide
+// distribution, and top-k worst-latency flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "collect/estimate_record.h"
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+
+namespace rlir::collect {
+
+struct CollectorConfig {
+  /// Shard fan-out. More shards = smaller per-shard flow tables (and, in a
+  /// distributed deployment, more machines). Must be >= 1.
+  std::size_t shard_count = 8;
+  /// Accuracy/budget of the shard-side merged sketches. The relative
+  /// accuracy must match the exporters' so merges stay exact.
+  common::LatencySketchConfig sketch;
+};
+
+/// One flow's answer to a summary query.
+struct FlowSummary {
+  net::FiveTuple key;
+  std::uint64_t packets = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+class ShardedCollector {
+ public:
+  ShardedCollector() : ShardedCollector(CollectorConfig{}) {}
+  /// Throws std::invalid_argument if shard_count is 0.
+  explicit ShardedCollector(CollectorConfig config);
+
+  /// Routes one record to its shard and merges it into the flow table and
+  /// the record's link aggregate. Throws std::invalid_argument on a
+  /// relative-accuracy mismatch with the collector's sketch config.
+  void ingest(const EstimateRecord& record);
+  void ingest(const std::vector<EstimateRecord>& batch);
+
+  /// Merges another collector's entire state (replica/epoch union). Shard
+  /// counts need not match; flows are re-routed by this collector's hash.
+  void merge(const ShardedCollector& other);
+
+  // --- Queries -------------------------------------------------------------
+
+  /// Merged sketch of one flow across all links/epochs; nullptr if unseen.
+  [[nodiscard]] const common::LatencySketch* flow(const net::FiveTuple& key) const;
+  /// Quantile of one flow's latency distribution; nullopt if unseen.
+  [[nodiscard]] std::optional<double> flow_quantile(const net::FiveTuple& key, double q) const;
+  [[nodiscard]] std::optional<FlowSummary> flow_summary(const net::FiveTuple& key) const;
+
+  /// Latency distribution observed at one vantage point (merged across
+  /// shards); nullopt if the link never produced a record.
+  [[nodiscard]] std::optional<common::LatencySketch> link_distribution(LinkId link) const;
+  /// All links with data, ascending.
+  [[nodiscard]] std::vector<LinkId> links() const;
+
+  /// Fleet-wide latency distribution (union of every link's sketch).
+  [[nodiscard]] common::LatencySketch fleet() const;
+
+  /// The k flows with the highest latency at quantile `q`, worst first.
+  /// Ties break on flow key so results are deterministic.
+  [[nodiscard]] std::vector<FlowSummary> top_k_flows(std::size_t k, double q = 0.99) const;
+
+  // --- Accounting ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t flow_count() const;
+  [[nodiscard]] std::uint64_t records_ingested() const { return records_; }
+  [[nodiscard]] std::uint64_t estimates_ingested() const { return estimates_; }
+  /// Distinct epochs seen in ingested records.
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  /// Flows per shard (load-balance visibility).
+  [[nodiscard]] std::vector<std::size_t> shard_flow_counts() const;
+  /// Approximate resident bytes of all flow sketches — O(flows x bins),
+  /// independent of how many estimates were ingested.
+  [[nodiscard]] std::size_t approx_flow_bytes() const;
+
+  [[nodiscard]] const CollectorConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    std::unordered_map<net::FiveTuple, common::LatencySketch> flows;
+    std::unordered_map<LinkId, common::LatencySketch> links;
+  };
+
+  [[nodiscard]] std::size_t shard_for(const net::FiveTuple& key) const {
+    return key.hash() % config_.shard_count;
+  }
+  [[nodiscard]] FlowSummary summarize(const net::FiveTuple& key,
+                                      const common::LatencySketch& sketch) const;
+
+  CollectorConfig config_;
+  std::vector<Shard> shards_;
+  std::unordered_set<std::uint32_t> epochs_;
+  std::uint64_t records_ = 0;
+  std::uint64_t estimates_ = 0;
+};
+
+}  // namespace rlir::collect

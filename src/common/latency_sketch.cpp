@@ -1,0 +1,130 @@
+#include "common/latency_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlir::common {
+
+namespace {
+
+/// Values below this (in ns) are indistinguishable from zero latency; they
+/// share the zero bin so the log mapping never sees a non-positive input.
+constexpr double kMinTrackable = 1e-3;
+
+}  // namespace
+
+LatencySketch::LatencySketch(LatencySketchConfig config) : config_(config) {
+  if (!(config_.relative_accuracy > 0.0) || !(config_.relative_accuracy < 1.0)) {
+    throw std::invalid_argument("LatencySketch: relative_accuracy must be in (0, 1)");
+  }
+  const double a = config_.relative_accuracy;
+  log_gamma_ = std::log((1.0 + a) / (1.0 - a));
+}
+
+std::int32_t LatencySketch::index_for(double value) const {
+  // ceil(log_gamma(value)): every value in (gamma^(i-1), gamma^i] maps to i,
+  // so the bin's representative value is within relative_accuracy of it.
+  return static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double LatencySketch::value_for(std::int32_t index) const {
+  // Midpoint 2*gamma^i / (gamma + 1) minimizes the worst-case relative error
+  // over the bin (the standard DDSketch representative).
+  const double gamma = std::exp(log_gamma_);
+  return 2.0 * std::exp(static_cast<double>(index) * log_gamma_) / (gamma + 1.0);
+}
+
+void LatencySketch::add(double value, std::uint64_t count) {
+  // Non-finite values are estimator artifacts with no usable magnitude:
+  // recording them would poison sum/max and (for +inf) overflow the int32
+  // bin index. Dropped, not zero-binned, so counts stay honest.
+  if (count == 0 || !std::isfinite(value)) return;
+  if (empty()) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value * static_cast<double>(count);
+  if (value < kMinTrackable) {  // negatives included
+    zero_count_ += count;
+    return;
+  }
+  bins_[index_for(value)] += count;
+  binned_count_ += count;
+  collapse_if_needed();
+}
+
+void LatencySketch::collapse_if_needed() {
+  if (config_.max_bins == 0) return;
+  while (bins_.size() > config_.max_bins) {
+    // Fold the lowest bin into its neighbor above: only quantiles below the
+    // surviving bin's range lose accuracy, preserving the tail.
+    auto lowest = bins_.begin();
+    auto next = std::next(lowest);
+    next->second += lowest->second;
+    bins_.erase(lowest);
+    ++collapses_;
+  }
+}
+
+void LatencySketch::merge(const LatencySketch& other) {
+  if (other.config_.relative_accuracy != config_.relative_accuracy) {
+    throw std::invalid_argument("LatencySketch::merge: relative accuracies differ");
+  }
+  if (other.empty()) return;
+  if (empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  binned_count_ += other.binned_count_;
+  for (const auto& [index, count] : other.bins_) bins_[index] += count;
+  collapse_if_needed();
+}
+
+double LatencySketch::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target the 0-based order statistic floor(q * (n-1)); return the
+  // representative value of the bin containing it.
+  const double rank = q * static_cast<double>(n - 1);
+  std::uint64_t cum = zero_count_;
+  if (static_cast<double>(cum) > rank) return 0.0;
+  for (const auto& [index, bin_count_v] : bins_) {
+    cum += bin_count_v;
+    if (static_cast<double>(cum) > rank) return value_for(index);
+  }
+  return max_;  // unreachable unless rank == n-1 lands on the last element
+}
+
+std::size_t LatencySketch::approx_bytes() const {
+  // std::map node: key + count + ~3 pointers + color; close enough for the
+  // memory-accounting queries the collector exposes.
+  constexpr std::size_t kNodeBytes = sizeof(std::int32_t) + sizeof(std::uint64_t) + 4 * sizeof(void*);
+  return sizeof(LatencySketch) + bins_.size() * kNodeBytes;
+}
+
+LatencySketch LatencySketch::from_parts(LatencySketchConfig config, std::uint64_t zero_count,
+                                        double sum, double min, double max, BinMap bins) {
+  LatencySketch s(config);
+  s.zero_count_ = zero_count;
+  s.sum_ = sum;
+  s.min_ = min;
+  s.max_ = max;
+  s.bins_ = std::move(bins);
+  for (const auto& [index, count] : s.bins_) {
+    (void)index;
+    s.binned_count_ += count;
+  }
+  s.collapse_if_needed();
+  return s;
+}
+
+}  // namespace rlir::common

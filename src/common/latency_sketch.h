@@ -1,0 +1,102 @@
+// Mergeable relative-error quantile sketch (DDSketch-style) for latency
+// distributions.
+//
+// Per-flow latency state must be bounded: a FlowStatsMap entry is O(1) but
+// only answers mean/stddev, while a raw sample list answers quantiles at
+// O(packets) memory. The sketch is the middle ground the collection tier is
+// built on — logarithmic buckets sized so every quantile answer is within a
+// configured relative accuracy of the true order statistic, with memory
+// bounded by `max_bins` regardless of how many samples are added.
+//
+// Properties:
+//   * add() is O(1); quantile() is O(bins);
+//   * merge() of two sketches with the same accuracy equals the sketch of
+//     the concatenated sample streams, bin for bin (merge is exact, so it is
+//     associative and commutative — the property sharded collection needs);
+//   * when the bin budget overflows, the lowest bins collapse into one,
+//     degrading only low quantiles (latency monitoring cares about the upper
+//     tail).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace rlir::common {
+
+struct LatencySketchConfig {
+  /// Quantile answers are within this relative error of the true order
+  /// statistic (for uncollapsed bins). 0.01 = 1%.
+  double relative_accuracy = 0.01;
+  /// Bin budget; exceeding it collapses the lowest bins together. 0 = unbounded.
+  std::size_t max_bins = 2048;
+};
+
+class LatencySketch {
+ public:
+  /// Counts keyed by logarithmic bin index (ordered, so quantile walks and
+  /// serialization are deterministic).
+  using BinMap = std::map<std::int32_t, std::uint64_t>;
+
+  LatencySketch() : LatencySketch(LatencySketchConfig{}) {}
+  /// Throws std::invalid_argument unless 0 < relative_accuracy < 1.
+  explicit LatencySketch(LatencySketchConfig config);
+
+  /// Records one observation. Values below the minimum trackable latency
+  /// (1e-3 ns — far below anything physical) land in the zero bin, including
+  /// zero and negative values: latencies are nonnegative by construction and
+  /// a negative estimate is an interpolation artifact best treated as ~0.
+  /// Non-finite values (NaN, ±inf) are dropped entirely.
+  void add(double value) { add(value, 1); }
+  void add(double value, std::uint64_t count);
+
+  /// Exact union with `other` (bin-wise count addition). Throws
+  /// std::invalid_argument if relative accuracies differ; the result keeps
+  /// this sketch's bin budget.
+  void merge(const LatencySketch& other);
+
+  /// Value within `relative_accuracy` of the order statistic at rank
+  /// floor(q * (count-1)), q clamped to [0,1]. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return zero_count_ + binned_count_; }
+  [[nodiscard]] bool empty() const { return count() == 0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return empty() ? 0.0 : sum_ / static_cast<double>(count()); }
+  [[nodiscard]] double min() const { return empty() ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return empty() ? 0.0 : max_; }
+  /// Observations that fell into the zero bin.
+  [[nodiscard]] std::uint64_t zero_count() const { return zero_count_; }
+
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  /// Times the bin budget forced a collapse (0 = all quantiles in-bound).
+  [[nodiscard]] std::uint64_t collapses() const { return collapses_; }
+  /// In-memory footprint estimate: O(bins), never O(samples).
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+  [[nodiscard]] const LatencySketchConfig& config() const { return config_; }
+  [[nodiscard]] const BinMap& bins() const { return bins_; }
+
+  /// Rebuilds a sketch from serialized state (the estimate-record wire
+  /// format). Count is derived from the bins; collapses if `bins` exceeds
+  /// the config's budget.
+  [[nodiscard]] static LatencySketch from_parts(LatencySketchConfig config,
+                                                std::uint64_t zero_count, double sum,
+                                                double min, double max, BinMap bins);
+
+ private:
+  [[nodiscard]] std::int32_t index_for(double value) const;
+  [[nodiscard]] double value_for(std::int32_t index) const;
+  void collapse_if_needed();
+
+  LatencySketchConfig config_;
+  double log_gamma_ = 0.0;  // ln((1+a)/(1-a)), cached for index_for
+  BinMap bins_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t binned_count_ = 0;
+  std::uint64_t collapses_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rlir::common

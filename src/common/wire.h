@@ -1,0 +1,40 @@
+// Little-endian byte packing shared by every on-disk / on-wire format
+// (trace files, estimate-record batches). Field-by-field packing — never a
+// struct memcpy — so formats are independent of compiler padding and host
+// endianness.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace rlir::common::wire {
+
+/// Writes `v` little-endian at `p` and advances `p` past it.
+template <typename T>
+void put(std::uint8_t*& p, T v) {
+  static_assert(std::is_integral_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *p++ = static_cast<std::uint8_t>(static_cast<std::make_unsigned_t<T>>(v) >> (8 * i));
+  }
+}
+
+/// Reads a little-endian T at `p` and advances `p` past it.
+template <typename T>
+[[nodiscard]] T take(const std::uint8_t*& p) {
+  static_assert(std::is_integral_v<T>);
+  std::make_unsigned_t<T> v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::make_unsigned_t<T>>(*p++) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+/// Doubles travel as their IEEE-754 bit pattern in a little-endian u64.
+inline void put_f64(std::uint8_t*& p, double v) { put<std::uint64_t>(p, std::bit_cast<std::uint64_t>(v)); }
+
+[[nodiscard]] inline double take_f64(const std::uint8_t*& p) {
+  return std::bit_cast<double>(take<std::uint64_t>(p));
+}
+
+}  // namespace rlir::common::wire

@@ -70,7 +70,10 @@ void RliReceiver::estimate_buffered(const Anchor& left, const Anchor& right) {
     const double est = estimate_one(p, left, right);
     per_flow_[p.key].add(est);
     ++estimated_;
-    if (sink_) sink_(PacketEstimate{p.key, p.arrival, est});
+    if (!sinks_.empty()) {
+      const PacketEstimate pe{p.key, p.arrival, est};
+      for (const auto& sink : sinks_) sink(pe);
+    }
   }
 }
 

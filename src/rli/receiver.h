@@ -69,14 +69,25 @@ class RliReceiver final : public sim::PacketTap {
   /// Per-flow accumulated latency estimates.
   [[nodiscard]] const FlowStatsMap& per_flow() const { return per_flow_; }
 
-  /// Per-packet estimate stream (optional hook for tests/ablation).
+  /// Per-packet estimate stream (optional hook for tests/ablation and for
+  /// the collection tier's exporters).
   struct PacketEstimate {
     net::FiveTuple key;
     timebase::TimePoint arrival;
     double estimate_ns;
   };
   using EstimateSink = std::function<void(const PacketEstimate&)>;
-  void set_estimate_sink(EstimateSink sink) { sink_ = std::move(sink); }
+  /// Replaces all registered sinks with `sink`.
+  void set_estimate_sink(EstimateSink sink) {
+    sinks_.clear();
+    add_estimate_sink(std::move(sink));
+  }
+  /// Registers an additional sink; every estimate is delivered to each sink
+  /// in registration order (an ablation probe and a collector exporter can
+  /// observe the same stream).
+  void add_estimate_sink(EstimateSink sink) {
+    if (sink) sinks_.push_back(std::move(sink));
+  }
 
   [[nodiscard]] std::uint64_t references_seen() const { return refs_seen_; }
   [[nodiscard]] std::uint64_t packets_estimated() const { return estimated_; }
@@ -106,7 +117,7 @@ class RliReceiver final : public sim::PacketTap {
   std::optional<Anchor> left_;
   std::vector<Pending> buffer_;
   FlowStatsMap per_flow_;
-  EstimateSink sink_;
+  std::vector<EstimateSink> sinks_;
 
   std::uint64_t refs_seen_ = 0;
   std::uint64_t estimated_ = 0;

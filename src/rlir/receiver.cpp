@@ -19,9 +19,24 @@ rli::RliReceiver& RlirReceiver::stream_for(net::SenderId sender) {
     // Stream membership is decided by this RlirReceiver's demux; the inner
     // receivers must accept whatever is routed to them.
     receiver->set_filter([](const net::Packet&) { return true; });
+    for (const auto& sink : sinks_) {
+      receiver->add_estimate_sink(
+          [sender, &sink](const rli::RliReceiver::PacketEstimate& pe) { sink(sender, pe); });
+    }
     it = streams_.emplace(sender, std::move(receiver)).first;
   }
   return *it->second;
+}
+
+void RlirReceiver::add_estimate_sink(StreamEstimateSink sink) {
+  if (!sink) return;
+  sinks_.push_back(std::move(sink));
+  const StreamEstimateSink& stored = sinks_.back();
+  for (auto& [sender, receiver] : streams_) {
+    const net::SenderId sid = sender;
+    receiver->add_estimate_sink(
+        [sid, &stored](const rli::RliReceiver::PacketEstimate& pe) { stored(sid, pe); });
+  }
 }
 
 void RlirReceiver::on_packet(const net::Packet& packet, timebase::TimePoint arrival) {

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -39,6 +41,13 @@ class RlirReceiver final : public sim::PacketTap {
   /// duplicated keys are merged by statistic union.
   [[nodiscard]] rli::FlowStatsMap merged_estimates() const;
 
+  /// Per-packet estimate stream across every sender's interpolation stream,
+  /// tagged with the stream's sender (the collection tier's export hook).
+  /// Applies to streams that already exist and to streams created later.
+  using StreamEstimateSink =
+      std::function<void(net::SenderId, const rli::RliReceiver::PacketEstimate&)>;
+  void add_estimate_sink(StreamEstimateSink sink);
+
   [[nodiscard]] std::uint64_t unclassified_packets() const { return unclassified_; }
   [[nodiscard]] std::uint64_t classified_packets() const { return classified_; }
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
@@ -51,6 +60,9 @@ class RlirReceiver final : public sim::PacketTap {
   const Demultiplexer* demux_;
   /// Ordered map for deterministic merged iteration.
   std::map<net::SenderId, std::unique_ptr<rli::RliReceiver>> streams_;
+  /// Deque: per-stream adapter lambdas hold references to elements, and
+  /// deque end-insertion never invalidates them.
+  std::deque<StreamEstimateSink> sinks_;
   std::uint64_t unclassified_ = 0;
   std::uint64_t classified_ = 0;
 };

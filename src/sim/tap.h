@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/latency_sketch.h"
 #include "net/packet.h"
 #include "timebase/time.h"
 
@@ -35,6 +36,26 @@ class TapFanout final : public PacketTap {
 
  private:
   std::vector<PacketTap*> taps_;  // non-owning; wiring owns the instances
+};
+
+/// Evaluation-side tap: folds the *true* delay (Packet::true_delay(), which
+/// the measurement stack never reads) of regular packets crossing the tap
+/// into a bounded latency sketch. The cheap ground-truth distribution the
+/// collection tier's sketched answers are compared against.
+class DelaySketchTap final : public PacketTap {
+ public:
+  DelaySketchTap() = default;
+  explicit DelaySketchTap(common::LatencySketchConfig config) : sketch_(config) {}
+
+  void on_packet(const net::Packet& packet, timebase::TimePoint) override {
+    if (packet.kind != net::PacketKind::kRegular) return;
+    sketch_.add(static_cast<double>(packet.true_delay().ns()));
+  }
+
+  [[nodiscard]] const common::LatencySketch& sketch() const { return sketch_; }
+
+ private:
+  common::LatencySketch sketch_;
 };
 
 /// Records every observed packet; handy in tests.

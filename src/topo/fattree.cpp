@@ -44,6 +44,22 @@ NodeId FatTree::core(int index) const {
   return NodeId{Tier::kCore, 0, static_cast<std::uint16_t>(index)};
 }
 
+std::vector<NodeId> FatTree::cores() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(core_count()));
+  for (int c = 0; c < core_count(); ++c) nodes.push_back(core(c));
+  return nodes;
+}
+
+std::vector<NodeId> FatTree::switches() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(switch_count()));
+  for (std::size_t flat = 0; flat < static_cast<std::size_t>(switch_count()); ++flat) {
+    nodes.push_back(from_flat_index(flat));
+  }
+  return nodes;
+}
+
 NodeId FatTree::core_for(int edge_index, int j) const {
   const int half = k_ / 2;
   if (edge_index < 0 || edge_index >= half || j < 0 || j >= half) {

@@ -67,6 +67,11 @@ class FatTree {
   [[nodiscard]] NodeId tor(int pod, int index) const;
   [[nodiscard]] NodeId edge(int pod, int index) const;
   [[nodiscard]] NodeId core(int index) const;
+  /// All core switches in index order (fleet deployment loops).
+  [[nodiscard]] std::vector<NodeId> cores() const;
+  /// Every switch, in flat-index order (ToRs, then edges, then cores) —
+  /// "deploy a vantage at every router in the data center".
+  [[nodiscard]] std::vector<NodeId> switches() const;
   /// Core connected to edge-position `edge_index` at offset `j` (j < k/2).
   [[nodiscard]] NodeId core_for(int edge_index, int j) const;
   /// The edge position every path to core `core_index` must use.

@@ -5,9 +5,14 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/wire.h"
+
 namespace rlir::trace {
 
 namespace {
+
+using common::wire::put;
+using common::wire::take;
 
 constexpr std::array<char, 4> kMagic = {'R', 'L', 'T', 'R'};
 
@@ -17,24 +22,6 @@ constexpr std::size_t kRecordSize = 8 + 8 + 8 +      // ts, injected_at, ref_sta
                                     4 + 4 + 2 + 2 +  // src, dst, sport, dport
                                     1 + 1 + 2 + 1 +  // proto, kind, sender, tos
                                     4 + 8;           // size_bytes, seq
-
-template <typename T>
-void put(std::uint8_t*& p, T v) {
-  static_assert(std::is_integral_v<T>);
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    *p++ = static_cast<std::uint8_t>(static_cast<std::make_unsigned_t<T>>(v) >> (8 * i));
-  }
-}
-
-template <typename T>
-T take(const std::uint8_t*& p) {
-  static_assert(std::is_integral_v<T>);
-  std::make_unsigned_t<T> v = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    v |= static_cast<std::make_unsigned_t<T>>(*p++) << (8 * i);
-  }
-  return static_cast<T>(v);
-}
 
 void encode(const net::Packet& pkt, std::uint8_t* buf) {
   std::uint8_t* p = buf;
@@ -96,7 +83,10 @@ void TraceWriter::write_file(const std::string& path, const std::vector<net::Pac
   write(out, packets);
 }
 
-std::vector<net::Packet> TraceReader::read(std::istream& in) {
+namespace {
+
+/// Validates magic + version and returns the declared record count.
+std::uint64_t read_trace_header(std::istream& in) {
   std::array<char, 4> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) throw std::runtime_error("TraceReader: bad magic");
@@ -110,7 +100,30 @@ std::vector<net::Packet> TraceReader::read(std::istream& in) {
   if (version != kTraceFileVersion) {
     throw std::runtime_error("TraceReader: unsupported version " + std::to_string(version));
   }
+  return count;
+}
 
+}  // namespace
+
+std::uint64_t TraceReader::for_each(std::istream& in, const PacketFn& fn) {
+  const auto count = read_trace_header(in);
+  std::uint8_t record[kRecordSize];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(record), sizeof(record));
+    if (!in) throw std::runtime_error("TraceReader: truncated record");
+    fn(decode(record));
+  }
+  return count;
+}
+
+std::uint64_t TraceReader::for_each_file(const std::string& path, const PacketFn& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TraceReader: cannot open " + path);
+  return for_each(in, fn);
+}
+
+std::vector<net::Packet> TraceReader::read(std::istream& in) {
+  const auto count = read_trace_header(in);
   std::vector<net::Packet> packets;
   packets.reserve(count);
   std::uint8_t record[kRecordSize];

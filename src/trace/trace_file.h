@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -32,6 +33,14 @@ class TraceReader {
  public:
   [[nodiscard]] static std::vector<net::Packet> read(std::istream& in);
   [[nodiscard]] static std::vector<net::Packet> read_file(const std::string& path);
+
+  /// Streaming read: invokes `fn` once per packet in file order without
+  /// materializing the trace (memory stays O(1) however large the file —
+  /// the ingest path for replay and collector benchmarks). Returns the
+  /// number of packets visited. Same error behavior as read().
+  using PacketFn = std::function<void(const net::Packet&)>;
+  static std::uint64_t for_each(std::istream& in, const PacketFn& fn);
+  static std::uint64_t for_each_file(const std::string& path, const PacketFn& fn);
 };
 
 }  // namespace rlir::trace

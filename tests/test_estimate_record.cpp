@@ -1,0 +1,189 @@
+// EstimateRecord wire format: byte-exact round-trips, stream/byte-buffer
+// equivalence, and rejection of bad magic, wrong versions, truncation, and
+// corrupt bin counts.
+#include "collect/estimate_record.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rlir::collect {
+namespace {
+
+net::FiveTuple make_key(std::uint32_t i) {
+  net::FiveTuple key;
+  key.src = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i));
+  key.dst = net::Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(i + 1));
+  key.src_port = static_cast<std::uint16_t>(1000 + i);
+  key.dst_port = 80;
+  key.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+  return key;
+}
+
+std::vector<EstimateRecord> make_batch(std::size_t n) {
+  common::Xoshiro256 rng(11);
+  std::vector<EstimateRecord> records;
+  for (std::size_t i = 0; i < n; ++i) {
+    EstimateRecord r;
+    r.key = make_key(static_cast<std::uint32_t>(i));
+    r.link = static_cast<LinkId>(i % 5);
+    r.sender = static_cast<net::SenderId>(i % 3 + 1);
+    r.epoch = static_cast<std::uint32_t>(i / 4);
+    for (int j = 0; j < 200; ++j) r.sketch.add(rng.lognormal(9.0, 1.0));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void expect_equal(const EstimateRecord& a, const EstimateRecord& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.link, b.link);
+  EXPECT_EQ(a.sender, b.sender);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.sketch.bins(), b.sketch.bins());
+  EXPECT_EQ(a.sketch.count(), b.sketch.count());
+  EXPECT_EQ(a.sketch.zero_count(), b.sketch.zero_count());
+  EXPECT_EQ(a.sketch.sum(), b.sketch.sum());
+  EXPECT_EQ(a.sketch.min(), b.sketch.min());
+  EXPECT_EQ(a.sketch.max(), b.sketch.max());
+  EXPECT_EQ(a.sketch.config().relative_accuracy, b.sketch.config().relative_accuracy);
+  EXPECT_EQ(a.sketch.config().max_bins, b.sketch.config().max_bins);
+}
+
+TEST(EstimateRecordTest, RoundTripBatch) {
+  const auto batch = make_batch(10);
+  const auto bytes = encode_records(batch);
+  const auto decoded = decode_records(bytes.data(), bytes.size());
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_equal(batch[i], decoded[i]);
+}
+
+TEST(EstimateRecordTest, RoundTripEmptyBatchAndEmptySketch) {
+  const auto none = decode_records(encode_records({}).data(), encode_records({}).size());
+  EXPECT_TRUE(none.empty());
+
+  EstimateRecord empty_sketch;
+  empty_sketch.key = make_key(1);
+  const std::vector<EstimateRecord> batch{empty_sketch};
+  const auto bytes = encode_records(batch);
+  const auto decoded = decode_records(bytes.data(), bytes.size());
+  ASSERT_EQ(decoded.size(), 1u);
+  expect_equal(batch[0], decoded[0]);
+  EXPECT_TRUE(decoded[0].sketch.empty());
+}
+
+TEST(EstimateRecordTest, ZeroBinSurvivesRoundTrip) {
+  EstimateRecord r;
+  r.key = make_key(2);
+  r.sketch.add(0.0, 13);
+  r.sketch.add(500.0);
+  const auto bytes = encode_records({r});
+  const auto decoded = decode_records(bytes.data(), bytes.size());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].sketch.zero_count(), 13u);
+  EXPECT_EQ(decoded[0].sketch.count(), 14u);
+}
+
+TEST(EstimateRecordTest, StreamMatchesByteBuffer) {
+  const auto batch = make_batch(4);
+  std::stringstream stream;
+  write_records(stream, batch);
+  const auto via_stream = read_records(stream);
+  ASSERT_EQ(via_stream.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_equal(batch[i], via_stream[i]);
+}
+
+TEST(EstimateRecordTest, WireSizeMatchesEncoding) {
+  const auto batch = make_batch(3);
+  std::size_t expected = 16;  // header
+  for (const auto& r : batch) expected += wire_size(r);
+  EXPECT_EQ(encode_records(batch).size(), expected);
+}
+
+TEST(EstimateRecordTest, RejectsBadMagic) {
+  auto bytes = encode_records(make_batch(1));
+  bytes[0] = 'X';
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, RejectsUnsupportedVersion) {
+  auto bytes = encode_records(make_batch(1));
+  bytes[4] = 0xff;  // version field, little-endian low byte
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, RejectsTruncation) {
+  const auto bytes = encode_records(make_batch(3));
+  // Every possible truncation point must throw, not crash or mis-decode.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{15}, std::size_t{16},
+                          std::size_t{40}, bytes.size() - 1}) {
+    EXPECT_THROW(decode_records(bytes.data(), cut), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(EstimateRecordTest, RejectsTrailingGarbage) {
+  auto bytes = encode_records(make_batch(2));
+  bytes.push_back(0xab);
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, RejectsImplausibleBinCount) {
+  // A batch claiming one record whose bin count is absurd (bit flip /
+  // corruption) must be rejected by the guard, not attempt the allocation.
+  EstimateRecord r;
+  r.key = make_key(3);
+  r.sketch.add(100.0);
+  auto bytes = encode_records({r});
+  // bin_count is the last 4 bytes of the fixed part: header 16 + fixed 71.
+  const std::size_t bin_count_offset = 16 + 71 - 4;
+  bytes[bin_count_offset + 3] = 0xff;
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, RejectsNonFiniteMoments) {
+  EstimateRecord r;
+  r.key = make_key(6);
+  r.sketch.add(100.0);
+  auto bytes = encode_records({r});
+  // sum f64 sits after key(13)+link(4)+sender(2)+epoch(4)+accuracy(8)+
+  // max_bins(4)+zero_count(8); all-ones is a NaN bit pattern.
+  const std::size_t sum_offset = 16 + 13 + 4 + 2 + 4 + 8 + 4 + 8;
+  for (std::size_t i = 0; i < 8; ++i) bytes[sum_offset + i] = 0xff;
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, RejectsCorruptAccuracy) {
+  EstimateRecord r;
+  r.key = make_key(4);
+  r.sketch.add(100.0);
+  auto bytes = encode_records({r});
+  // relative_accuracy f64 sits after key(13)+link(4)+sender(2)+epoch(4).
+  const std::size_t accuracy_offset = 16 + 13 + 4 + 2 + 4;
+  for (std::size_t i = 0; i < 8; ++i) bytes[accuracy_offset + i] = 0;  // accuracy = 0.0
+  EXPECT_THROW(decode_records(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(EstimateRecordTest, MergedDecodedSketchMatchesOriginal) {
+  // Decode-then-merge equals merge-then-decode: what sharded collection does.
+  common::Xoshiro256 rng(12);
+  EstimateRecord a, b;
+  a.key = b.key = make_key(5);
+  for (int i = 0; i < 500; ++i) {
+    a.sketch.add(rng.lognormal(9.0, 1.0));
+    b.sketch.add(rng.lognormal(10.0, 0.5));
+  }
+  auto direct = a.sketch;
+  direct.merge(b.sketch);
+
+  const auto bytes = encode_records({a, b});
+  auto decoded = decode_records(bytes.data(), bytes.size());
+  decoded[0].sketch.merge(decoded[1].sketch);
+  EXPECT_EQ(decoded[0].sketch.bins(), direct.bins());
+  EXPECT_EQ(decoded[0].sketch.count(), direct.count());
+}
+
+}  // namespace
+}  // namespace rlir::collect

@@ -27,6 +27,21 @@ TEST(FatTree, K4CountsMatchPaperFigure1) {
   EXPECT_EQ(topo.host_count(), 16);
 }
 
+TEST(FatTree, SwitchEnumerationCoversEveryNodeOnce) {
+  const FatTree topo(4);
+
+  const auto cores = topo.cores();
+  ASSERT_EQ(cores.size(), 4u);
+  for (int c = 0; c < topo.core_count(); ++c) EXPECT_EQ(cores[c], topo.core(c));
+
+  const auto switches = topo.switches();
+  ASSERT_EQ(switches.size(), 20u);
+  // Flat-index order, each node exactly once, round-tripping flat_index.
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    EXPECT_EQ(topo.flat_index(switches[i]), i);
+  }
+}
+
 TEST(FatTree, PaperNodeNames) {
   const FatTree topo(4);
   EXPECT_EQ(topo.tor(0, 0).name(4), "T1");

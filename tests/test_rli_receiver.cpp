@@ -58,6 +58,38 @@ TEST(RliReceiver, LinearInterpolationIsExactOnALine) {
   EXPECT_EQ(receiver.references_seen(), 2u);
 }
 
+TEST(RliReceiver, MultipleSinksAllObserveEveryEstimate) {
+  timebase::PerfectClock clock;
+  RliReceiver receiver(ReceiverConfig{}, &clock);
+  receiver.on_packet(reference(0, 1000, 0), TimePoint(0));
+
+  std::vector<double> first, second;
+  receiver.add_estimate_sink(
+      [&](const RliReceiver::PacketEstimate& e) { first.push_back(e.estimate_ns); });
+  receiver.add_estimate_sink(
+      [&](const RliReceiver::PacketEstimate& e) { second.push_back(e.estimate_ns); });
+
+  receiver.on_packet(regular(500), TimePoint(500));
+  receiver.on_packet(reference(1000, 1000, 1), TimePoint(1000));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RliReceiver, SetEstimateSinkReplacesAllSinks) {
+  timebase::PerfectClock clock;
+  RliReceiver receiver(ReceiverConfig{}, &clock);
+  receiver.on_packet(reference(0, 1000, 0), TimePoint(0));
+
+  std::uint64_t dropped = 0, kept = 0;
+  receiver.add_estimate_sink([&](const RliReceiver::PacketEstimate&) { ++dropped; });
+  receiver.set_estimate_sink([&](const RliReceiver::PacketEstimate&) { ++kept; });
+
+  receiver.on_packet(regular(500), TimePoint(500));
+  receiver.on_packet(reference(1000, 1000, 1), TimePoint(1000));
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(kept, 1u);
+}
+
 TEST(RliReceiver, PacketsBeforeFirstReferenceAreUnanchored) {
   timebase::PerfectClock clock;
   RliReceiver receiver(ReceiverConfig{}, &clock);

@@ -77,6 +77,40 @@ TEST_F(RlirReceiverTest, SeparatesStreamsBySender) {
   }
 }
 
+TEST_F(RlirReceiverTest, StreamEstimateSinkTagsSenderAcrossStreams) {
+  RlirReceiver receiver(rli::ReceiverConfig{}, &clock_, &demux_);
+
+  // One sink registered before any stream exists...
+  std::vector<std::pair<net::SenderId, double>> early;
+  receiver.add_estimate_sink(
+      [&](net::SenderId sender, const rli::RliReceiver::PacketEstimate& e) {
+        early.emplace_back(sender, e.estimate_ns);
+      });
+
+  receiver.on_packet(reference(0, 1000, 0, 1), TimePoint(0));
+  receiver.on_packet(reference(1, 5000, 1, 2), TimePoint(1));
+  receiver.on_packet(regular(100, kOriginA), TimePoint(100));
+  receiver.on_packet(regular(200, kOriginB), TimePoint(200));
+
+  // ...and one registered after the streams were created: both must see
+  // every estimate, tagged with the owning stream's sender.
+  std::vector<std::pair<net::SenderId, double>> late;
+  receiver.add_estimate_sink(
+      [&](net::SenderId sender, const rli::RliReceiver::PacketEstimate& e) {
+        late.emplace_back(sender, e.estimate_ns);
+      });
+
+  receiver.on_packet(reference(1000, 1000, 2, 1), TimePoint(1000));
+  receiver.on_packet(reference(1001, 5000, 3, 2), TimePoint(1001));
+
+  ASSERT_EQ(early.size(), 2u);
+  EXPECT_EQ(early, late);
+  EXPECT_EQ(early[0].first, 1);
+  EXPECT_DOUBLE_EQ(early[0].second, 1000.0);
+  EXPECT_EQ(early[1].first, 2);
+  EXPECT_DOUBLE_EQ(early[1].second, 5000.0);
+}
+
 TEST_F(RlirReceiverTest, UnclassifiedPacketsAreCountedNotEstimated) {
   RlirReceiver receiver(rli::ReceiverConfig{}, &clock_, &demux_);
   receiver.on_packet(reference(0, 1000, 0, 1), TimePoint(0));

@@ -1,0 +1,263 @@
+// ShardedCollector: hash routing, cross-shard/epoch/replica merging, the
+// query API (flow quantiles, link distributions, fleet union, top-k), and
+// the bounded-memory accounting.
+#include "collect/sharded_collector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rlir::collect {
+namespace {
+
+net::FiveTuple make_key(std::uint32_t i) {
+  net::FiveTuple key;
+  key.src = net::Ipv4Address(10, 1, static_cast<std::uint8_t>(i >> 8),
+                             static_cast<std::uint8_t>(i));
+  key.dst = net::Ipv4Address(192, 168, 0, 1);
+  key.src_port = static_cast<std::uint16_t>(2000 + i);
+  key.dst_port = 443;
+  key.proto = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  return key;
+}
+
+EstimateRecord make_record(std::uint32_t flow, LinkId link, std::uint32_t epoch,
+                           double latency_base, common::Xoshiro256& rng, int samples = 100) {
+  EstimateRecord r;
+  r.key = make_key(flow);
+  r.link = link;
+  r.epoch = epoch;
+  r.sender = 1;
+  for (int i = 0; i < samples; ++i) r.sketch.add(latency_base * rng.uniform(0.5, 1.5));
+  return r;
+}
+
+TEST(ShardedCollectorTest, ZeroShardsThrows) {
+  EXPECT_THROW(ShardedCollector(CollectorConfig{0, {}}), std::invalid_argument);
+}
+
+TEST(ShardedCollectorTest, FlowQueriesMatchDirectSketch) {
+  common::Xoshiro256 rng(21);
+  ShardedCollector collector;
+  auto r = make_record(7, 0, 0, 50e3, rng);
+  collector.ingest(r);
+
+  const auto* sketch = collector.flow(r.key);
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_EQ(sketch->count(), r.sketch.count());
+  EXPECT_EQ(sketch->bins(), r.sketch.bins());
+  EXPECT_EQ(collector.flow_quantile(r.key, 0.5), r.sketch.quantile(0.5));
+
+  const auto summary = collector.flow_summary(r.key);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->packets, r.sketch.count());
+  EXPECT_EQ(summary->p99_ns, r.sketch.quantile(0.99));
+
+  EXPECT_EQ(collector.flow(make_key(999)), nullptr);
+  EXPECT_FALSE(collector.flow_quantile(make_key(999), 0.5).has_value());
+}
+
+TEST(ShardedCollectorTest, RecordsForSameFlowMergeAcrossLinksAndEpochs) {
+  common::Xoshiro256 rng(22);
+  ShardedCollector collector;
+  auto a = make_record(1, /*link=*/0, /*epoch=*/0, 40e3, rng);
+  auto b = make_record(1, /*link=*/3, /*epoch=*/1, 90e3, rng);
+  collector.ingest(a);
+  collector.ingest(b);
+
+  auto direct = a.sketch;
+  direct.merge(b.sketch);
+  const auto* sketch = collector.flow(a.key);
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_EQ(sketch->bins(), direct.bins());
+  EXPECT_EQ(sketch->count(), direct.count());
+  EXPECT_EQ(collector.epoch_count(), 2u);
+  EXPECT_EQ(collector.flow_count(), 1u);
+}
+
+TEST(ShardedCollectorTest, ShardingSpreadsFlowsDeterministically) {
+  common::Xoshiro256 rng(23);
+  CollectorConfig config;
+  config.shard_count = 4;
+  ShardedCollector collector(config);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    collector.ingest(make_record(i, 0, 0, 60e3, rng, 5));
+  }
+  EXPECT_EQ(collector.flow_count(), 200u);
+  const auto counts = collector.shard_flow_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, 0u);  // 200 hashed flows never all land in 3 of 4 shards
+    total += c;
+  }
+  EXPECT_EQ(total, 200u);
+  // Routing is pure hash: flow i's shard is key.hash() % shards.
+  for (std::uint32_t i = 0; i < 200; i += 17) {
+    EXPECT_NE(collector.flow(make_key(i)), nullptr);
+  }
+}
+
+TEST(ShardedCollectorTest, LinkAndFleetDistributions) {
+  common::Xoshiro256 rng(24);
+  ShardedCollector collector;
+  // Link 0: fast (10us base); link 1: slow (200us base).
+  common::LatencySketch link0_direct, link1_direct;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    auto r = make_record(i, 0, 0, 10e3, rng, 20);
+    link0_direct.merge(r.sketch);
+    collector.ingest(r);
+  }
+  for (std::uint32_t i = 50; i < 80; ++i) {
+    auto r = make_record(i, 1, 0, 200e3, rng, 20);
+    link1_direct.merge(r.sketch);
+    collector.ingest(r);
+  }
+
+  EXPECT_EQ(collector.links(), (std::vector<LinkId>{0, 1}));
+  const auto link0 = collector.link_distribution(0);
+  const auto link1 = collector.link_distribution(1);
+  ASSERT_TRUE(link0.has_value());
+  ASSERT_TRUE(link1.has_value());
+  EXPECT_EQ(link0->bins(), link0_direct.bins());
+  EXPECT_EQ(link1->bins(), link1_direct.bins());
+  EXPECT_LT(link0->quantile(0.99), link1->quantile(0.01));
+  EXPECT_FALSE(collector.link_distribution(42).has_value());
+
+  auto fleet_direct = link0_direct;
+  fleet_direct.merge(link1_direct);
+  const auto fleet = collector.fleet();
+  EXPECT_EQ(fleet.bins(), fleet_direct.bins());
+  EXPECT_EQ(fleet.count(), fleet_direct.count());
+}
+
+TEST(ShardedCollectorTest, TopKWorstFlows) {
+  common::Xoshiro256 rng(25);
+  ShardedCollector collector;
+  // 20 ordinary flows around 50us, 3 outliers at distinct high latencies.
+  for (std::uint32_t i = 0; i < 20; ++i) collector.ingest(make_record(i, 0, 0, 50e3, rng));
+  collector.ingest(make_record(100, 0, 0, 900e3, rng));
+  collector.ingest(make_record(101, 0, 0, 700e3, rng));
+  collector.ingest(make_record(102, 0, 0, 500e3, rng));
+
+  const auto top = collector.top_k_flows(3, 0.99);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, make_key(100));
+  EXPECT_EQ(top[1].key, make_key(101));
+  EXPECT_EQ(top[2].key, make_key(102));
+  EXPECT_GT(top[0].p99_ns, top[1].p99_ns);
+
+  // k larger than the flow count returns everything, still sorted.
+  const auto all = collector.top_k_flows(1000, 0.99);
+  EXPECT_EQ(all.size(), collector.flow_count());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].p99_ns, all[i].p99_ns);
+  }
+}
+
+TEST(ShardedCollectorTest, ReplicaMergeEqualsSingleCollector) {
+  // Two collector replicas (different shard counts, interleaved batches)
+  // merged together must equal one collector that saw every record.
+  common::Xoshiro256 rng_a(26);
+  std::vector<EstimateRecord> records;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    records.push_back(make_record(i % 25, i % 4, i % 3, 30e3 + 1e3 * i, rng_a, 30));
+  }
+
+  ShardedCollector whole(CollectorConfig{8, {}});
+  whole.ingest(records);
+
+  ShardedCollector replica_a(CollectorConfig{8, {}});
+  ShardedCollector replica_b(CollectorConfig{3, {}});
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    (i % 2 == 0 ? replica_a : replica_b).ingest(records[i]);
+  }
+  replica_a.merge(replica_b);
+
+  EXPECT_EQ(replica_a.flow_count(), whole.flow_count());
+  EXPECT_EQ(replica_a.records_ingested(), whole.records_ingested());
+  EXPECT_EQ(replica_a.estimates_ingested(), whole.estimates_ingested());
+  EXPECT_EQ(replica_a.epoch_count(), whole.epoch_count());
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    const auto* merged = replica_a.flow(make_key(i));
+    const auto* direct = whole.flow(make_key(i));
+    ASSERT_NE(merged, nullptr);
+    ASSERT_NE(direct, nullptr);
+    EXPECT_EQ(merged->bins(), direct->bins()) << "flow " << i;
+  }
+  EXPECT_EQ(replica_a.fleet().bins(), whole.fleet().bins());
+}
+
+TEST(ShardedCollectorTest, MemoryIsBoundedBySketchSizeNotSamples) {
+  common::Xoshiro256 rng(27);
+  CollectorConfig config;
+  config.sketch.max_bins = 128;
+  ShardedCollector collector(config);
+  // One flow, a million estimates: resident bytes must stay O(bins).
+  collector.ingest(make_record(1, 0, 0, 80e3, rng, 1'000'000));
+  EXPECT_EQ(collector.estimates_ingested(), 1'000'000u);
+  const auto* sketch = collector.flow(make_key(1));
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_LE(sketch->bin_count(), 128u);
+  // Generous per-bin envelope (map node overhead), nowhere near 1M samples.
+  EXPECT_LT(collector.approx_flow_bytes(), 128 * 64 + 256);
+}
+
+TEST(ShardedCollectorTest, AccuracyMismatchRejectedWithoutSideEffects) {
+  ShardedCollector collector;  // default 1% sketches
+  EstimateRecord r;
+  r.key = make_key(1);
+  r.sketch = common::LatencySketch(common::LatencySketchConfig{0.05, 128});
+  r.sketch.add(100.0);
+  EXPECT_THROW(collector.ingest(r), std::invalid_argument);
+  // The rejected record must leave no phantom state behind.
+  EXPECT_EQ(collector.flow_count(), 0u);
+  EXPECT_EQ(collector.flow(r.key), nullptr);
+  EXPECT_TRUE(collector.links().empty());
+  EXPECT_EQ(collector.records_ingested(), 0u);
+}
+
+TEST(ShardedCollectorTest, MergeAccuracyMismatchRejectedWithoutSideEffects) {
+  common::Xoshiro256 rng(29);
+  ShardedCollector collector;  // default 1% sketches
+  ShardedCollector replica(CollectorConfig{2, common::LatencySketchConfig{0.05, 128}});
+  EstimateRecord r = make_record(1, 0, 0, 50e3, rng, 10);
+  r.sketch = common::LatencySketch(common::LatencySketchConfig{0.05, 128});
+  r.sketch.add(100.0);
+  replica.ingest(r);
+
+  EXPECT_THROW(collector.merge(replica), std::invalid_argument);
+  EXPECT_EQ(collector.flow_count(), 0u);
+  EXPECT_TRUE(collector.links().empty());
+  EXPECT_EQ(collector.records_ingested(), 0u);
+}
+
+TEST(ShardedCollectorTest, SelfMergeDoublesEveryAggregate) {
+  common::Xoshiro256 rng(28);
+  ShardedCollector collector(CollectorConfig{4, {}});
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    collector.ingest(make_record(i % 10, i % 3, 0, 40e3, rng, 20));
+  }
+  const auto flows_before = collector.flow_count();
+  const auto estimates_before = collector.estimates_ingested();
+  const auto fleet_before = collector.fleet();
+
+  collector.merge(collector);
+
+  EXPECT_EQ(collector.flow_count(), flows_before);
+  EXPECT_EQ(collector.estimates_ingested(), 2 * estimates_before);
+  const auto fleet_after = collector.fleet();
+  EXPECT_EQ(fleet_after.count(), 2 * fleet_before.count());
+  for (const auto link : collector.links()) {
+    // Exactly doubled, not the inconsistent re-homing double-count.
+    EXPECT_EQ(collector.link_distribution(link)->count() % 2, 0u);
+  }
+  for (const auto& [index, count] : fleet_before.bins()) {
+    EXPECT_EQ(fleet_after.bins().at(index), 2 * count);
+  }
+}
+
+}  // namespace
+}  // namespace rlir::collect

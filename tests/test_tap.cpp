@@ -98,5 +98,23 @@ TEST(TapFanout, SameTapAttachedTwiceSeesPacketTwice) {
   EXPECT_EQ(leaf.packets().size(), 2u);
 }
 
+TEST(DelaySketchTap, RecordsTrueDelayOfRegularPacketsOnly) {
+  DelaySketchTap tap;
+  auto regular = packet_with_seq(1, TimePoint(5'000));
+  regular.injected_at = TimePoint(1'000);  // true delay 4us
+  tap.on_packet(regular, regular.ts);
+
+  auto reference = regular;
+  reference.kind = net::PacketKind::kReference;
+  tap.on_packet(reference, reference.ts);
+  auto cross = regular;
+  cross.kind = net::PacketKind::kCross;
+  tap.on_packet(cross, cross.ts);
+
+  EXPECT_EQ(tap.sketch().count(), 1u);
+  const double accuracy = tap.sketch().config().relative_accuracy;
+  EXPECT_NEAR(tap.sketch().quantile(0.5), 4'000.0, accuracy * 4'000.0);
+}
+
 }  // namespace
 }  // namespace rlir::sim
