@@ -21,7 +21,11 @@ endif()
 # Sanitizers apply directory-wide (not via rlir_options) so third-party code
 # built in-tree — a FetchContent'd googletest in particular — is instrumented
 # too; mixing instrumented tests with an uninstrumented gtest risks ASan
-# container-overflow false positives at the boundary.
+# container-overflow false positives at the boundary. ASan/UBSan and TSan
+# cannot be combined in one binary, hence two options and the guard.
+if(RLIR_SANITIZE AND RLIR_SANITIZE_THREAD)
+  message(FATAL_ERROR "RLIR_SANITIZE and RLIR_SANITIZE_THREAD are mutually exclusive")
+endif()
 if(RLIR_SANITIZE)
   add_compile_options(
     $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=address,undefined>
@@ -29,4 +33,12 @@ if(RLIR_SANITIZE)
     $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-g>)
   add_link_options(
     $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=address,undefined>)
+endif()
+if(RLIR_SANITIZE_THREAD)
+  add_compile_options(
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=thread>
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fno-omit-frame-pointer>
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-g>)
+  add_link_options(
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=thread>)
 endif()

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "collect/epoch_scheduler.h"
 #include "collect/fleet.h"
 #include "rli/sender.h"
 #include "rlir/demux.h"
@@ -101,10 +102,31 @@ int run_example() {
       seed += 100;
     }
   }
-  sim.run();
 
-  const auto records = fleet.collect_epoch(/*epoch=*/0);
+  // --- Scheduler-driven collection: epochs fire on a 10ms period as
+  // simulated time advances (receiver flushes + exporter drains included),
+  // and flows idle for >4ms are aged out of exporter tables early — no
+  // manual collect_epoch calls.
+  collect::EpochSchedulerConfig sched_cfg;
+  sched_cfg.period = Duration::milliseconds(10);
+  sched_cfg.max_flow_idle = Duration::milliseconds(4);
+  collect::EpochScheduler scheduler(sched_cfg);
+  fleet.attach_scheduler(scheduler);
+
+  const Duration step = Duration::milliseconds(1);
+  timebase::TimePoint t = timebase::TimePoint::zero();
+  while (sim.events_pending()) {
+    t += step;
+    sim.run_until(t);
+    scheduler.advance_to(t);
+  }
+  scheduler.advance_to(sim.now() + sched_cfg.period);  // final drain
+
+  const auto records = static_cast<std::size_t>(scheduler.records_delivered());
   const auto& collector = fleet.collector();
+  std::printf("scheduler: %llu epochs fired, %llu flows aged out mid-epoch\n",
+              static_cast<unsigned long long>(scheduler.epochs_fired()),
+              static_cast<unsigned long long>(scheduler.flows_aged_out()));
 
   // --- Query 1: fleet-wide latency distribution.
   const auto fleet_sketch = collector.fleet();

@@ -21,6 +21,9 @@ LinkId FleetCollector::deploy(topo::FatTreeSim& sim, topo::NodeId node,
       ExporterConfig{config_.collector.sketch, link});
   v.exporter->attach(*v.receiver);
   sim.add_arrival_tap(node, v.receiver.get());
+  // A vantage deployed after attach_scheduler() must still be drained on
+  // the same epochs (the flush hook already sees it via vantages_).
+  if (scheduler_ != nullptr) scheduler_->add_exporter(v.exporter.get());
   vantages_.push_back(std::move(v));
   return link;
 }
@@ -47,6 +50,27 @@ std::size_t FleetCollector::collect_epoch(std::uint32_t epoch) {
     collected += batch.size();
   }
   return collected;
+}
+
+void FleetCollector::attach_scheduler(EpochScheduler& scheduler) {
+  if (scheduler_ != nullptr) {
+    // A second attach would duplicate sinks/hooks and double-ingest every
+    // batch from then on — fail loudly instead.
+    throw std::logic_error("FleetCollector::attach_scheduler: already attached");
+  }
+  scheduler.add_epoch_hook([this](std::uint32_t) {
+    for (auto& v : vantages_) v.receiver->flush();
+  });
+  for (auto& v : vantages_) scheduler.add_exporter(v.exporter.get());
+  // deploy() keeps later vantages in sync (flush hook already iterates
+  // vantages_ live; the exporter registration must match).
+  scheduler_ = &scheduler;
+  scheduler.add_sink([this](std::uint32_t, const std::vector<EstimateRecord>& batch) {
+    // Same wire round-trip as collect_epoch: scheduler-driven collection
+    // exercises exactly what a networked deployment ships.
+    const auto bytes = encode_records(batch);
+    collector_.ingest(decode_records(bytes.data(), bytes.size()));
+  });
 }
 
 rli::FlowStatsMap FleetCollector::unsharded_estimates() const {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "collect/epoch_scheduler.h"
 #include "collect/exporter.h"
 #include "collect/sharded_collector.h"
 #include "rli/receiver.h"
@@ -51,6 +52,16 @@ class FleetCollector {
   /// number of records collected.
   std::size_t collect_epoch(std::uint32_t epoch);
 
+  /// Hands epoch driving to `scheduler`: registers an epoch hook that
+  /// flushes every vantage receiver's interpolation buffer, every vantage
+  /// exporter for periodic drain/aging, and a sink that ships each batch
+  /// through the wire format into the collector. Vantages deployed later
+  /// are registered too. The scheduler is borrowed: both it and the
+  /// FleetCollector must outlive the scheduler's last firing. Drive with
+  /// scheduler.advance_to(sim.now()) as the simulation runs (see
+  /// FatTreeSim::run_until) instead of calling collect_epoch by hand.
+  void attach_scheduler(EpochScheduler& scheduler);
+
   /// Per-flow estimates merged across every vantage the classic way
   /// (unbounded FlowStatsMap union) — the ground truth the collector's
   /// sketched answers are validated against.
@@ -70,6 +81,8 @@ class FleetCollector {
   const timebase::Clock* clock_;
   std::vector<Vantage> vantages_;
   ShardedCollector collector_;
+  /// Set by attach_scheduler; deploy() registers later exporters with it.
+  EpochScheduler* scheduler_ = nullptr;
 };
 
 }  // namespace rlir::collect

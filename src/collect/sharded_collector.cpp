@@ -1,6 +1,7 @@
 #include "collect/sharded_collector.h"
 
 #include <algorithm>
+#include <queue>
 #include <stdexcept>
 
 namespace rlir::collect {
@@ -9,7 +10,20 @@ ShardedCollector::ShardedCollector(CollectorConfig config) : config_(config) {
   if (config_.shard_count == 0) {
     throw std::invalid_argument("ShardedCollector: shard_count must be >= 1");
   }
+  if (config_.top_k_quantile < 0.0 || config_.top_k_quantile > 1.0) {
+    throw std::invalid_argument("ShardedCollector: top_k_quantile must be in [0, 1]");
+  }
   shards_.resize(config_.shard_count);
+}
+
+void ShardedCollector::merge_into_flow(Shard& shard, const net::FiveTuple& key,
+                                       const common::LatencySketch& sketch) {
+  auto [it, inserted] = shard.flows.try_emplace(key, FlowState{common::LatencySketch(config_.sketch), 0.0});
+  FlowState& state = it->second;
+  if (!inserted) shard.rank.erase({state.rank_value, key});
+  state.sketch.merge(sketch);
+  state.rank_value = state.sketch.quantile(config_.top_k_quantile);
+  shard.rank.insert({state.rank_value, key});
 }
 
 void ShardedCollector::ingest(const EstimateRecord& record) {
@@ -21,9 +35,7 @@ void ShardedCollector::ingest(const EstimateRecord& record) {
   }
   Shard& shard = shards_[shard_for(record.key)];
 
-  auto [flow_it, inserted] =
-      shard.flows.try_emplace(record.key, common::LatencySketch(config_.sketch));
-  flow_it->second.merge(record.sketch);
+  merge_into_flow(shard, record.key, record.sketch);
 
   // A link's records scatter across flow shards, so link aggregates are kept
   // per shard and unioned at query time (exact merge makes that lossless).
@@ -57,10 +69,8 @@ void ShardedCollector::merge(const ShardedCollector& other) {
         "ShardedCollector::merge: replica sketch accuracy differs from collector config");
   }
   for (const auto& shard : other.shards_) {
-    for (const auto& [key, sketch] : shard.flows) {
-      Shard& mine = shards_[shard_for(key)];
-      auto [it, inserted] = mine.flows.try_emplace(key, common::LatencySketch(config_.sketch));
-      it->second.merge(sketch);
+    for (const auto& [key, state] : shard.flows) {
+      merge_into_flow(shards_[shard_for(key)], key, state.sketch);
     }
     for (const auto& [link_id, sketch] : shard.links) {
       // Keep each link aggregate in a single home shard when re-merging so
@@ -78,7 +88,7 @@ void ShardedCollector::merge(const ShardedCollector& other) {
 const common::LatencySketch* ShardedCollector::flow(const net::FiveTuple& key) const {
   const Shard& shard = shards_[shard_for(key)];
   const auto it = shard.flows.find(key);
-  return it == shard.flows.end() ? nullptr : &it->second;
+  return it == shard.flows.end() ? nullptr : &it->second.sketch;
 }
 
 std::optional<double> ShardedCollector::flow_quantile(const net::FiveTuple& key, double q) const {
@@ -140,19 +150,7 @@ common::LatencySketch ShardedCollector::fleet() const {
   return all;
 }
 
-std::vector<FlowSummary> ShardedCollector::top_k_flows(std::size_t k, double q) const {
-  std::vector<std::pair<double, FlowSummary>> ranked;
-  ranked.reserve(flow_count());
-  for (const auto& shard : shards_) {
-    for (const auto& [key, sketch] : shard.flows) {
-      ranked.emplace_back(sketch.quantile(q), summarize(key, sketch));
-    }
-  }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second.key < b.second.key;
-  });
-  if (ranked.size() > k) ranked.resize(k);
+std::vector<FlowSummary> strip_ranks(std::vector<RankedFlowSummary>&& ranked) {
   std::vector<FlowSummary> top;
   top.reserve(ranked.size());
   for (auto& [value, summary] : ranked) {
@@ -162,10 +160,73 @@ std::vector<FlowSummary> ShardedCollector::top_k_flows(std::size_t k, double q) 
   return top;
 }
 
+std::vector<FlowSummary> ShardedCollector::top_k_flows(std::size_t k, double q) const {
+  return strip_ranks(top_k_ranked(k, q));
+}
+
+std::vector<RankedFlowSummary> ShardedCollector::top_k_ranked_scan(std::size_t k,
+                                                                   double q) const {
+  std::vector<RankedFlowSummary> top;
+  top.reserve(flow_count());
+  for (const auto& shard : shards_) {
+    for (const auto& [key, state] : shard.flows) {
+      top.emplace_back(state.sketch.quantile(q), summarize(key, state.sketch));
+    }
+  }
+  std::sort(top.begin(), top.end(), ranked_worse_first);
+  if (top.size() > k) top.resize(k);
+  return top;
+}
+
+std::vector<RankedFlowSummary> ShardedCollector::top_k_ranked(std::size_t k, double q) const {
+  // Un-indexed quantile: full scan, but still return the ranking values.
+  if (q != config_.top_k_quantile) return top_k_ranked_scan(k, q);
+
+  std::vector<RankedFlowSummary> top;
+  // k-way merge of the per-shard rank indexes: a heap of shard cursors,
+  // bounded by shard count, pops the globally worst remaining flow k times.
+  // Each index is already in WorstFirst order, so the pop sequence is the
+  // exact prefix the scan path would produce after its full sort.
+  struct Cursor {
+    RankIndex::const_iterator it;
+    RankIndex::const_iterator end;
+    std::size_t shard;
+  };
+  const auto cursor_after = [](const Cursor& a, const Cursor& b) {
+    // priority_queue pops the "largest"; make that the worst-first entry.
+    return WorstFirst{}(*b.it, *a.it);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_after)> heads(cursor_after);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const RankIndex& rank = shards_[s].rank;
+    if (!rank.empty()) heads.push(Cursor{rank.begin(), rank.end(), s});
+  }
+
+  top.reserve(std::min(k, flow_count()));
+  while (top.size() < k && !heads.empty()) {
+    Cursor cur = heads.top();
+    heads.pop();
+    const auto& [value, key] = *cur.it;
+    top.emplace_back(value, summarize(key, shards_[cur.shard].flows.at(key).sketch));
+    if (++cur.it != cur.end) heads.push(cur);
+  }
+  return top;
+}
+
+std::vector<FlowSummary> ShardedCollector::top_k_flows_scan(std::size_t k, double q) const {
+  return strip_ranks(top_k_ranked_scan(k, q));
+}
+
 std::size_t ShardedCollector::flow_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) n += shard.flows.size();
   return n;
+}
+
+std::vector<std::uint32_t> ShardedCollector::epochs_seen() const {
+  std::vector<std::uint32_t> out(epochs_.begin(), epochs_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::size_t> ShardedCollector::shard_flow_counts() const {
@@ -178,9 +239,9 @@ std::vector<std::size_t> ShardedCollector::shard_flow_counts() const {
 std::size_t ShardedCollector::approx_flow_bytes() const {
   std::size_t bytes = 0;
   for (const auto& shard : shards_) {
-    for (const auto& [key, sketch] : shard.flows) {
+    for (const auto& [key, state] : shard.flows) {
       (void)key;
-      bytes += sketch.approx_bytes();
+      bytes += state.sketch.approx_bytes();
     }
   }
   return bytes;

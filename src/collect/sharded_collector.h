@@ -9,13 +9,19 @@
 // on different machines and replicas can be merged pairwise.
 //
 // Query API: per-flow quantiles, per-link latency distributions, fleet-wide
-// distribution, and top-k worst-latency flows.
+// distribution, and top-k worst-latency flows. Top-k is served from a
+// per-shard rank index maintained at ingest (each shard keeps its flows
+// ordered worst-first at the configured quantile), merged at query time with
+// a bounded heap over shard cursors — O(k·shards) per query instead of a
+// full scan that re-sketches every flow.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "collect/estimate_record.h"
@@ -31,6 +37,10 @@ struct CollectorConfig {
   /// Accuracy/budget of the shard-side merged sketches. The relative
   /// accuracy must match the exporters' so merges stay exact.
   common::LatencySketchConfig sketch;
+  /// Quantile the ingest-maintained top-k rank index is keyed on. Queries at
+  /// this quantile are O(k·shards); any other quantile falls back to the
+  /// full scan. Must be in [0, 1].
+  double top_k_quantile = 0.99;
 };
 
 /// One flow's answer to a summary query.
@@ -43,10 +53,26 @@ struct FlowSummary {
   double max_ns = 0.0;
 };
 
+/// A summary with its top-k ranking value (the flow's quantile-q latency).
+using RankedFlowSummary = std::pair<double, FlowSummary>;
+
+/// The worst-first ordering contract every top-k path shares — rank index,
+/// full scan, and cross-collector merges: higher value first, flow key as
+/// the deterministic tie-break.
+[[nodiscard]] inline bool ranked_worse_first(const RankedFlowSummary& a,
+                                             const RankedFlowSummary& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second.key < b.second.key;
+}
+
+/// Drops the ranking values, keeping order.
+[[nodiscard]] std::vector<FlowSummary> strip_ranks(std::vector<RankedFlowSummary>&& ranked);
+
 class ShardedCollector {
  public:
   ShardedCollector() : ShardedCollector(CollectorConfig{}) {}
-  /// Throws std::invalid_argument if shard_count is 0.
+  /// Throws std::invalid_argument if shard_count is 0 or top_k_quantile is
+  /// outside [0, 1].
   explicit ShardedCollector(CollectorConfig config);
 
   /// Routes one record to its shard and merges it into the flow table and
@@ -77,8 +103,18 @@ class ShardedCollector {
   [[nodiscard]] common::LatencySketch fleet() const;
 
   /// The k flows with the highest latency at quantile `q`, worst first.
-  /// Ties break on flow key so results are deterministic.
+  /// Ties break on flow key so results are deterministic. When q equals the
+  /// configured `top_k_quantile` the answer comes from the per-shard rank
+  /// index in O(k·shards); other quantiles use the full scan.
   [[nodiscard]] std::vector<FlowSummary> top_k_flows(std::size_t k, double q = 0.99) const;
+  /// top_k_flows with each summary's ranking value attached — what a higher
+  /// tier needs to merge top-k answers from several collectors without
+  /// re-deriving the sort key.
+  [[nodiscard]] std::vector<RankedFlowSummary> top_k_ranked(std::size_t k, double q) const;
+  /// Reference implementation: scans and re-sketches every flow. Exposed so
+  /// tests (and operators who suspect the index) can cross-check the fast
+  /// path; results are identical for q == top_k_quantile.
+  [[nodiscard]] std::vector<FlowSummary> top_k_flows_scan(std::size_t k, double q) const;
 
   // --- Accounting ----------------------------------------------------------
 
@@ -87,6 +123,8 @@ class ShardedCollector {
   [[nodiscard]] std::uint64_t estimates_ingested() const { return estimates_; }
   /// Distinct epochs seen in ingested records.
   [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  /// Epochs seen, ascending (replica union visibility).
+  [[nodiscard]] std::vector<std::uint32_t> epochs_seen() const;
   /// Flows per shard (load-balance visibility).
   [[nodiscard]] std::vector<std::size_t> shard_flow_counts() const;
   /// Approximate resident bytes of all flow sketches — O(flows x bins),
@@ -96,14 +134,40 @@ class ShardedCollector {
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
 
  private:
+  /// Worst-first rank ordering: higher quantile value first, flow key as the
+  /// deterministic tie-break — the same order the scan path sorts by.
+  struct WorstFirst {
+    bool operator()(const std::pair<double, net::FiveTuple>& a,
+                    const std::pair<double, net::FiveTuple>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+  using RankIndex = std::set<std::pair<double, net::FiveTuple>, WorstFirst>;
+
+  struct FlowState {
+    common::LatencySketch sketch;
+    /// The value this flow is currently indexed under in the shard's rank
+    /// index (needed to erase the stale entry when the sketch changes).
+    double rank_value = 0.0;
+  };
+
   struct Shard {
-    std::unordered_map<net::FiveTuple, common::LatencySketch> flows;
+    std::unordered_map<net::FiveTuple, FlowState> flows;
     std::unordered_map<LinkId, common::LatencySketch> links;
+    RankIndex rank;
   };
 
   [[nodiscard]] std::size_t shard_for(const net::FiveTuple& key) const {
     return key.hash() % config_.shard_count;
   }
+  /// Merges `sketch` into `key`'s flow state and re-indexes the flow in the
+  /// shard's rank index (the single mutation path ingest and merge share).
+  void merge_into_flow(Shard& shard, const net::FiveTuple& key,
+                       const common::LatencySketch& sketch);
+  /// The scan implementation behind top_k_flows_scan and the un-indexed
+  /// fallback of top_k_ranked — one copy of the ordering/tie-break rules.
+  [[nodiscard]] std::vector<RankedFlowSummary> top_k_ranked_scan(std::size_t k, double q) const;
   [[nodiscard]] FlowSummary summarize(const net::FiveTuple& key,
                                       const common::LatencySketch& sketch) const;
 

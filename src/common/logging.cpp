@@ -2,12 +2,12 @@
 
 namespace rlir::common {
 
-LogLevel& log_threshold() {
-  static LogLevel level = LogLevel::kWarn;
+namespace detail {
+
+std::atomic<int>& log_threshold_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
   return level;
 }
-
-namespace detail {
 
 void log_line(LogLevel level, std::string_view msg) {
   const char* tag = "?";
@@ -18,7 +18,11 @@ void log_line(LogLevel level, std::string_view msg) {
     case LogLevel::kError: tag = "ERROR"; break;
     case LogLevel::kOff: return;
   }
-  std::cerr << "[" << tag << "] " << msg << "\n";
+  // Single formatted insertion per line: interleaved-thread output stays
+  // line-atomic in practice (the stream write is one call).
+  std::ostringstream line;
+  line << "[" << tag << "] " << msg << "\n";
+  std::cerr << line.str();
 }
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 // diagnostics go through here to stderr so output stays machine-parseable.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -10,21 +11,29 @@ namespace rlir::common {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped. Not thread-safe by
-/// design — the simulator is single-threaded.
-LogLevel& log_threshold();
-
 namespace detail {
+/// Global threshold storage. Atomic: the collection tier logs from worker
+/// and scheduler threads, so reads/writes must not race.
+std::atomic<int>& log_threshold_storage();
+
 void log_line(LogLevel level, std::string_view msg);
 
 template <typename... Args>
 void log(LogLevel level, const Args&... args) {
-  if (level < log_threshold()) return;
+  if (static_cast<int>(level) < log_threshold_storage().load(std::memory_order_relaxed)) return;
   std::ostringstream os;
   (os << ... << args);
   log_line(level, os.str());
 }
 }  // namespace detail
+
+/// Messages below the threshold are dropped. Thread-safe.
+[[nodiscard]] inline LogLevel log_threshold() {
+  return static_cast<LogLevel>(detail::log_threshold_storage().load(std::memory_order_relaxed));
+}
+inline void set_log_threshold(LogLevel level) {
+  detail::log_threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 template <typename... Args>
 void log_debug(const Args&... args) { detail::log(LogLevel::kDebug, args...); }

@@ -65,6 +65,24 @@ double RliReceiver::estimate_one(const Pending& p, const Anchor& left,
   return left.delay_ns + x * (right.delay_ns - left.delay_ns);
 }
 
+std::size_t RliReceiver::flush() {
+  // Buffered packets exist only after a left anchor (on_packet invariant),
+  // so every one of them has a usable — if uninterpolated — estimate.
+  const std::size_t n = buffer_.size();
+  for (const Pending& p : buffer_) {
+    const double est = left_->delay_ns;
+    per_flow_[p.key].add(est);
+    ++estimated_;
+    ++flushed_;
+    if (!sinks_.empty()) {
+      const PacketEstimate pe{p.key, p.arrival, est};
+      for (const auto& sink : sinks_) sink(pe);
+    }
+  }
+  buffer_.clear();
+  return n;
+}
+
 void RliReceiver::estimate_buffered(const Anchor& left, const Anchor& right) {
   for (const Pending& p : buffer_) {
     const double est = estimate_one(p, left, right);

@@ -66,6 +66,13 @@ class RliReceiver final : public sim::PacketTap {
 
   void on_packet(const net::Packet& packet, timebase::TimePoint arrival) override;
 
+  /// Epoch-boundary flush: estimates every packet still waiting in the
+  /// interpolation buffer using the left anchor alone (the closing reference
+  /// hasn't arrived yet) and empties the buffer, so an epoch's export ships
+  /// every estimate the receiver can produce. The anchor is kept — later
+  /// packets interpolate normally. Returns the number of packets flushed.
+  std::size_t flush();
+
   /// Per-flow accumulated latency estimates.
   [[nodiscard]] const FlowStatsMap& per_flow() const { return per_flow_; }
 
@@ -95,6 +102,8 @@ class RliReceiver final : public sim::PacketTap {
   [[nodiscard]] std::uint64_t packets_unanchored() const { return unanchored_; }
   /// Packets discarded because the interpolation interval exceeded the guard.
   [[nodiscard]] std::uint64_t packets_in_skipped_intervals() const { return skipped_; }
+  /// Packets estimated by flush() (left-anchor only, no interpolation).
+  [[nodiscard]] std::uint64_t packets_flushed() const { return flushed_; }
 
  private:
   struct Anchor {
@@ -123,6 +132,7 @@ class RliReceiver final : public sim::PacketTap {
   std::uint64_t estimated_ = 0;
   std::uint64_t unanchored_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t flushed_ = 0;
 };
 
 }  // namespace rlir::rli

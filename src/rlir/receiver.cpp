@@ -57,6 +57,15 @@ void RlirReceiver::on_packet(const net::Packet& packet, timebase::TimePoint arri
   stream_for(*sender).on_packet(packet, arrival);
 }
 
+std::size_t RlirReceiver::flush() {
+  std::size_t flushed = 0;
+  for (auto& [sender, receiver] : streams_) {
+    (void)sender;
+    flushed += receiver->flush();
+  }
+  return flushed;
+}
+
 const rli::RliReceiver* RlirReceiver::stream(net::SenderId sender) const {
   const auto it = streams_.find(sender);
   return it == streams_.end() ? nullptr : it->second.get();

@@ -33,6 +33,10 @@ class RlirReceiver final : public sim::PacketTap {
 
   void on_packet(const net::Packet& packet, timebase::TimePoint arrival) override;
 
+  /// Epoch-boundary flush of every sender stream's interpolation buffer
+  /// (rli::RliReceiver::flush). Returns the total packets flushed.
+  std::size_t flush();
+
   /// Per-flow estimates from one sender's stream (nullptr if none seen).
   [[nodiscard]] const rli::RliReceiver* stream(net::SenderId sender) const;
 

@@ -170,4 +170,6 @@ void FatTreeSim::handle_arrival(net::Packet packet, NodeId node) {
 
 void FatTreeSim::run() { events_.run_until_empty(); }
 
+void FatTreeSim::run_until(timebase::TimePoint deadline) { events_.run_until(deadline); }
+
 }  // namespace rlir::topo

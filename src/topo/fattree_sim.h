@@ -89,6 +89,13 @@ class FatTreeSim {
   /// Runs until all events drain.
   void run();
 
+  /// Runs events with time <= deadline; later events stay queued. The
+  /// stepping primitive for epoch-scheduled collection: alternate
+  /// run_until(t) with EpochScheduler::advance_to(t).
+  void run_until(timebase::TimePoint deadline);
+  /// Events still queued (true while a stepped run is unfinished).
+  [[nodiscard]] bool events_pending() const { return !events_.empty(); }
+
   [[nodiscard]] const FatTreeSimStats& stats() const { return stats_; }
   [[nodiscard]] timebase::TimePoint now() const { return events_.now(); }
   [[nodiscard]] const FatTree& topology() const { return *topo_; }

@@ -1,0 +1,335 @@
+// EpochScheduler: grid-aligned epoch firing, bit-identical batches across
+// replays (the determinism contract of the collection tier), idle-flow
+// aging bounds, exporter max_flows cap, and the wall-clock driver thread
+// (a TSan workload together with test_concurrent_collector).
+#include "collect/epoch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "collect/sharded_collector.h"
+#include "common/rng.h"
+
+namespace rlir::collect {
+namespace {
+
+using timebase::Duration;
+using timebase::TimePoint;
+
+net::FiveTuple make_key(std::uint32_t i) {
+  net::FiveTuple key;
+  key.src = net::Ipv4Address(10, 2, static_cast<std::uint8_t>(i >> 8),
+                             static_cast<std::uint8_t>(i));
+  key.dst = net::Ipv4Address(192, 168, 1, 1);
+  key.src_port = static_cast<std::uint16_t>(3000 + i);
+  key.dst_port = 80;
+  key.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+  return key;
+}
+
+rli::RliReceiver::PacketEstimate estimate_at(std::uint32_t flow, std::int64_t t_ns,
+                                             double latency_ns) {
+  return rli::RliReceiver::PacketEstimate{make_key(flow), TimePoint(t_ns), latency_ns};
+}
+
+/// A seeded estimate schedule: `count` estimates at strictly increasing
+/// times over [0, horizon), cycling through `flows` flows.
+struct ScheduledEstimate {
+  std::int64_t t_ns;
+  std::uint32_t flow;
+  double latency_ns;
+};
+std::vector<ScheduledEstimate> make_schedule(std::uint64_t seed, std::size_t count,
+                                             std::uint32_t flows, std::int64_t horizon_ns) {
+  common::Xoshiro256 rng(seed);
+  std::vector<ScheduledEstimate> events;
+  events.reserve(count);
+  const std::int64_t step = horizon_ns / static_cast<std::int64_t>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back(ScheduledEstimate{static_cast<std::int64_t>(i) * step + 1,
+                                       static_cast<std::uint32_t>(i) % flows,
+                                       rng.uniform(10e3, 200e3)});
+  }
+  return events;
+}
+
+/// Replays a schedule through an exporter + scheduler, encoding every
+/// delivered batch; returns the concatenated wire bytes (the determinism
+/// fingerprint) and the delivered epoch sequence.
+struct ReplayResult {
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint32_t> epochs;
+  std::uint64_t aged = 0;
+};
+ReplayResult replay(const std::vector<ScheduledEstimate>& events, Duration period,
+                    Duration max_idle, std::int64_t advance_step_ns) {
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/5, /*max_flows=*/0});
+  EpochSchedulerConfig cfg;
+  cfg.period = period;
+  cfg.max_flow_idle = max_idle;
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+  ReplayResult result;
+  scheduler.add_sink([&result](std::uint32_t epoch, const std::vector<EstimateRecord>& batch) {
+    result.epochs.push_back(epoch);
+    const auto bytes = encode_records(batch);
+    result.wire.insert(result.wire.end(), bytes.begin(), bytes.end());
+  });
+
+  // Drive sim time on a fixed cadence independent of event times: the
+  // scheduler's grid, not the call pattern, decides epoch boundaries.
+  std::int64_t now = 0;
+  for (const auto& ev : events) {
+    while (now < ev.t_ns) {
+      now = std::min(ev.t_ns, now + advance_step_ns);
+      scheduler.advance_to(TimePoint(now));
+    }
+    exporter.observe(1, estimate_at(ev.flow, ev.t_ns, ev.latency_ns));
+  }
+  scheduler.advance_to(TimePoint(now + period.ns()));  // final drain boundary
+  result.aged = scheduler.flows_aged_out();
+  return result;
+}
+
+TEST(EpochSchedulerTest, NonPositivePeriodThrows) {
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::zero();
+  EXPECT_THROW(EpochScheduler{cfg}, std::invalid_argument);
+}
+
+TEST(EpochSchedulerTest, FiresOncePerGridBoundaryRegardlessOfCallPattern) {
+  EstimateExporter exporter(ExporterConfig{{}, 0, 0});
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(1);
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+
+  // Many tiny advances, then one huge one: boundary count only depends on
+  // how much simulated time passed.
+  for (int i = 1; i <= 10; ++i) {
+    scheduler.advance_to(TimePoint(Duration::microseconds(100 * i).ns()));
+  }
+  EXPECT_EQ(scheduler.epochs_fired(), 1u);  // crossed 1ms once
+  scheduler.advance_to(TimePoint(Duration::milliseconds(5).ns()));
+  EXPECT_EQ(scheduler.epochs_fired(), 5u);
+  // Re-advancing to the past (or the same time) is a no-op.
+  scheduler.advance_to(TimePoint(Duration::milliseconds(3).ns()));
+  EXPECT_EQ(scheduler.epochs_fired(), 5u);
+  EXPECT_EQ(scheduler.next_epoch(), 5u);
+}
+
+TEST(EpochSchedulerTest, SameSeedAndPeriodYieldBitIdenticalBatches) {
+  const auto events = make_schedule(/*seed=*/77, /*count=*/400, /*flows=*/23,
+                                    /*horizon_ns=*/Duration::milliseconds(8).ns());
+  const auto a = replay(events, Duration::milliseconds(1), Duration::zero(),
+                        Duration::microseconds(50).ns());
+  const auto b = replay(events, Duration::milliseconds(1), Duration::zero(),
+                        Duration::microseconds(50).ns());
+  ASSERT_FALSE(a.wire.empty());
+  EXPECT_EQ(a.wire, b.wire);
+  EXPECT_EQ(a.epochs, b.epochs);
+}
+
+TEST(EpochSchedulerTest, AdvanceCadenceDoesNotChangeBatches) {
+  // Same workload driven with 50us advances vs 400us advances: boundaries
+  // are on the period grid either way, so the delivered record stream is
+  // byte-identical (aging off; with aging on, eviction instants legitimately
+  // depend on when the scheduler gets to look at the clock).
+  const auto events = make_schedule(/*seed=*/78, /*count=*/300, /*flows=*/17,
+                                    /*horizon_ns=*/Duration::milliseconds(6).ns());
+  const auto fine = replay(events, Duration::milliseconds(1), Duration::zero(),
+                           Duration::microseconds(50).ns());
+  const auto coarse = replay(events, Duration::milliseconds(1), Duration::zero(),
+                             Duration::microseconds(400).ns());
+  EXPECT_EQ(fine.wire, coarse.wire);
+  EXPECT_EQ(fine.epochs, coarse.epochs);
+}
+
+TEST(EpochSchedulerTest, DrainedBatchesReachACollectorWithEpochIndices) {
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/2, 0});
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(1);
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+  ShardedCollector collector;
+  scheduler.add_sink([&collector](std::uint32_t, const std::vector<EstimateRecord>& batch) {
+    collector.ingest(batch);
+  });
+
+  exporter.observe(1, estimate_at(0, Duration::microseconds(100).ns(), 50e3));
+  exporter.observe(1, estimate_at(1, Duration::microseconds(200).ns(), 60e3));
+  scheduler.advance_to(TimePoint(Duration::milliseconds(1).ns()));  // epoch 0
+  exporter.observe(1, estimate_at(0, Duration::microseconds(1200).ns(), 70e3));
+  scheduler.advance_to(TimePoint(Duration::milliseconds(2).ns()));  // epoch 1
+
+  EXPECT_EQ(collector.records_ingested(), 3u);
+  EXPECT_EQ(collector.flow_count(), 2u);
+  EXPECT_EQ(collector.epoch_count(), 2u);
+  EXPECT_EQ(scheduler.records_delivered(), 3u);
+  EXPECT_EQ(exporter.flow_count(), 0u);  // drained
+}
+
+TEST(EpochSchedulerTest, IdleFlowsAgeOutEarlyAndNothingIsLost) {
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/3, 0});
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(10);  // long epoch
+  cfg.max_flow_idle = Duration::milliseconds(1);
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+  ShardedCollector collector;
+  std::uint64_t aging_batches = 0;
+  scheduler.add_sink([&](std::uint32_t, const std::vector<EstimateRecord>& batch) {
+    collector.ingest(batch);
+    ++aging_batches;
+  });
+
+  // Flow 0 sends once at t=0.1ms and goes quiet; flow 1 keeps sending.
+  exporter.observe(1, estimate_at(0, Duration::microseconds(100).ns(), 40e3));
+  for (int i = 1; i <= 8; ++i) {
+    exporter.observe(1, estimate_at(1, Duration::microseconds(500 * i).ns(), 50e3));
+    scheduler.advance_to(TimePoint(Duration::microseconds(500 * i).ns()));
+  }
+
+  // Flow 0 was idle > 1ms mid-epoch: evicted, shipped, memory freed — while
+  // the active flow stays resident. No boundary has fired yet.
+  EXPECT_EQ(scheduler.epochs_fired(), 0u);
+  EXPECT_EQ(scheduler.flows_aged_out(), 1u);
+  EXPECT_EQ(exporter.flows_aged_out(), 1u);
+  EXPECT_EQ(exporter.flow_count(), 1u);
+  EXPECT_EQ(collector.flow_count(), 1u);
+  ASSERT_NE(collector.flow(make_key(0)), nullptr);
+
+  // The epoch boundary drains the survivor; every estimate is accounted for.
+  scheduler.advance_to(TimePoint(Duration::milliseconds(10).ns()));
+  EXPECT_EQ(scheduler.epochs_fired(), 1u);
+  EXPECT_EQ(collector.flow_count(), 2u);
+  EXPECT_EQ(collector.estimates_ingested(), 9u);
+  EXPECT_GE(aging_batches, 2u);  // at least: one aging batch + one drain
+}
+
+TEST(EpochSchedulerTest, ExporterMaxFlowsCapEvictsLruIntoNextDrain) {
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/4, /*max_flows=*/2});
+  exporter.observe(1, estimate_at(0, 1'000, 10e3));
+  exporter.observe(1, estimate_at(1, 2'000, 20e3));
+  EXPECT_EQ(exporter.flow_count(), 2u);
+
+  // Flow 2 arrives at the cap: flow 0 (least recently active) is evicted
+  // into the pending buffer, not dropped.
+  exporter.observe(1, estimate_at(2, 3'000, 30e3));
+  EXPECT_EQ(exporter.flow_count(), 2u);
+  EXPECT_EQ(exporter.pending_eviction_count(), 1u);
+  EXPECT_EQ(exporter.flows_cap_evicted(), 1u);
+
+  // Re-observing the evicted flow restarts it (second record, same flow).
+  exporter.observe(1, estimate_at(0, 4'000, 15e3));
+  EXPECT_EQ(exporter.flows_cap_evicted(), 2u);  // flow 1 evicted this time
+
+  const auto records = exporter.drain(/*epoch=*/9);
+  ASSERT_EQ(records.size(), 4u);  // flows {0(evicted), 1(evicted), 0, 2}
+  EXPECT_EQ(exporter.flow_count(), 0u);
+  EXPECT_EQ(exporter.pending_eviction_count(), 0u);
+  std::uint64_t estimates = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.epoch, 9u);
+    estimates += r.sketch.count();
+    // Drained in flow-key order.
+  }
+  EXPECT_EQ(estimates, 4u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].key, records[i].key);
+  }
+}
+
+TEST(EpochSchedulerTest, CapEvictionsShipAtEveryAdvanceNotJustBoundaries) {
+  // A burst of new flows at a capped exporter must not pile evicted
+  // sketches up until the epoch boundary: the scheduler ships the pending
+  // buffer at every advance, so exporter memory stays bounded by the cap
+  // plus one advance step's burst.
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/7, /*max_flows=*/2});
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(10);
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+  ShardedCollector collector;
+  scheduler.add_sink([&collector](std::uint32_t, const std::vector<EstimateRecord>& batch) {
+    collector.ingest(batch);
+  });
+
+  // Six distinct flows against a cap of 2: four get evicted into pending.
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    exporter.observe(1, estimate_at(f, Duration::microseconds(100 * (f + 1)).ns(), 25e3));
+  }
+  EXPECT_EQ(exporter.flow_count(), 2u);
+  EXPECT_EQ(exporter.pending_eviction_count(), 4u);
+
+  // Mid-epoch advance (no boundary yet): pending ships and is freed.
+  scheduler.advance_to(TimePoint(Duration::milliseconds(1).ns()));
+  EXPECT_EQ(scheduler.epochs_fired(), 0u);
+  EXPECT_EQ(exporter.pending_eviction_count(), 0u);
+  EXPECT_EQ(collector.records_ingested(), 4u);
+
+  // The boundary drains the two live flows; all six estimates arrive.
+  scheduler.advance_to(TimePoint(Duration::milliseconds(10).ns()));
+  EXPECT_EQ(collector.estimates_ingested(), 6u);
+  EXPECT_EQ(collector.flow_count(), 6u);
+}
+
+TEST(EpochSchedulerTest, ManualFireUsesSequentialEpochIndices) {
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(1);
+  cfg.first_epoch = 10;
+  EpochScheduler scheduler(cfg);
+  EXPECT_EQ(scheduler.fire_epoch(), 10u);
+  EXPECT_EQ(scheduler.fire_epoch(), 11u);
+  EXPECT_EQ(scheduler.next_epoch(), 12u);
+  EXPECT_EQ(scheduler.epochs_fired(), 2u);
+}
+
+TEST(EpochSchedulerTest, WallClockModeFiresPeriodicallyAndStopsCleanly) {
+  EstimateExporter exporter(ExporterConfig{{}, /*link=*/6, 0});
+  EpochSchedulerConfig cfg;
+  cfg.period = Duration::milliseconds(1);
+  EpochScheduler scheduler(cfg);
+  scheduler.add_exporter(&exporter);
+  ShardedCollector collector;
+  scheduler.add_sink([&collector](std::uint32_t, const std::vector<EstimateRecord>& batch) {
+    collector.ingest(batch);
+  });
+
+  scheduler.start(Duration::milliseconds(2));
+  EXPECT_TRUE(scheduler.running());
+  EXPECT_THROW(scheduler.start(Duration::milliseconds(2)), std::logic_error);
+
+  // Producer feeds the exporter under pause() — the wall-clock drain must
+  // never observe a half-applied estimate (TSan enforces this).
+  for (int i = 0; i < 40; ++i) {
+    {
+      const auto lock = scheduler.pause();
+      exporter.observe(1, estimate_at(static_cast<std::uint32_t>(i % 5),
+                                      1'000 * (i + 1), 30e3));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scheduler.stop();
+  EXPECT_FALSE(scheduler.running());
+  const auto fired = scheduler.epochs_fired();
+  EXPECT_GE(fired, 1u);
+
+  // Stop is idempotent and firing has ceased.
+  scheduler.stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scheduler.epochs_fired(), fired);
+
+  // Whatever was observed before the last drain reached the collector;
+  // a final manual fire accounts for the remainder.
+  scheduler.fire_epoch();
+  EXPECT_EQ(collector.estimates_ingested(), 40u);
+  EXPECT_EQ(collector.flow_count(), 5u);
+}
+
+}  // namespace
+}  // namespace rlir::collect

@@ -198,6 +198,65 @@ TEST_F(FleetCollectTest, CollectorMatchesUnshardedGroundTruth) {
   EXPECT_LE(top[0].p99_ns, fleet_sketch.max() * (1.0 + accuracy));
 }
 
+TEST_F(FleetCollectTest, SchedulerDrivenCollectionLosesNoEstimate) {
+  // attach_scheduler replaces the by-hand collect_epoch loop: stepped
+  // simulation time drives epoch boundaries, receiver flushes, and idle-flow
+  // aging. The conservation law under test: every estimate any vantage
+  // produces (including boundary flushes and aged-out flows) reaches the
+  // collector exactly once.
+  topo::FatTreeSim sim(&topo_, topo::FatTreeSimConfig{}, &hasher_);
+  const auto cores = topo_.cores();
+
+  rli::SenderConfig s_cfg;
+  s_cfg.id = 1;
+  s_cfg.static_gap = 50;
+  rlir::TorSenderAgent sender(s_cfg, &clock_, cores);
+  sim.add_agent(src_a_, &sender);
+  rlir::PrefixDemux demux;
+  demux.add_origin(topo_.host_prefix(src_a_), 1);
+
+  collect::FleetCollector fleet(collect::FleetConfig{}, &clock_);
+  for (const auto& core : cores) fleet.deploy(sim, core, &demux);
+
+  // Shadow count of every estimate delivered by every vantage's receiver.
+  std::uint64_t observed = 0;
+  for (collect::LinkId link = 0; link < fleet.vantage_count(); ++link) {
+    fleet.receiver(link).add_estimate_sink(
+        [&observed](net::SenderId, const rli::RliReceiver::PacketEstimate&) { ++observed; });
+  }
+
+  collect::EpochSchedulerConfig sched_cfg;
+  sched_cfg.period = Duration::milliseconds(5);
+  sched_cfg.max_flow_idle = Duration::milliseconds(2);
+  collect::EpochScheduler scheduler(sched_cfg);
+  fleet.attach_scheduler(scheduler);
+
+  const Duration horizon = Duration::milliseconds(25);
+  for (const auto& pkt : make_traffic(src_a_, dst_, 1.0e9, 81, horizon)) {
+    sim.inject_from_host(pkt);
+  }
+  // Step simulation and scheduler in lockstep, finer than the period.
+  const Duration step = Duration::milliseconds(1);
+  timebase::TimePoint t = timebase::TimePoint::zero();
+  while (sim.events_pending()) {
+    t += step;
+    sim.run_until(t);
+    scheduler.advance_to(t);
+  }
+  // Close out the final (partial) epoch.
+  scheduler.advance_to(sim.now() + sched_cfg.period);
+
+  const auto& collector = fleet.collector();
+  ASSERT_GT(observed, 1000u);
+  EXPECT_EQ(collector.estimates_ingested(), observed);
+  EXPECT_EQ(scheduler.records_delivered(), collector.records_ingested());
+  EXPECT_GE(scheduler.epochs_fired(), 4u);  // ~25ms of traffic / 5ms period
+  EXPECT_GE(collector.epoch_count(), 4u);
+  // Every vantage exporter ends empty: drained by boundaries, not leaks.
+  EXPECT_GT(collector.flow_count(), 0u);
+  EXPECT_EQ(collector.flow_count(), fleet.unsharded_estimates().size());
+}
+
 TEST_F(FleetCollectTest, EpochsAccumulateAcrossCollections) {
   // Two traffic phases drained as separate epochs into the same collector:
   // per-flow state must equal the union, and both epochs must be visible.

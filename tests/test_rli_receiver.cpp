@@ -267,5 +267,47 @@ TEST_P(InterpolationBracketSweep, EstimateWithinAnchorRange) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterpolationBracketSweep, ::testing::Values(1, 2, 3, 4));
 
+TEST(RliReceiver, FlushEstimatesBufferedPacketsWithLeftAnchor) {
+  timebase::PerfectClock clock;
+  RliReceiver receiver(ReceiverConfig{}, &clock);
+  std::vector<double> estimates;
+  receiver.set_estimate_sink(
+      [&](const RliReceiver::PacketEstimate& e) { estimates.push_back(e.estimate_ns); });
+
+  // Left anchor with delay 2000; two regulars buffered, no closing reference.
+  receiver.on_packet(reference(0, 2000, 0), TimePoint(0));
+  receiver.on_packet(regular(300), TimePoint(300));
+  receiver.on_packet(regular(600), TimePoint(600));
+  EXPECT_EQ(receiver.packets_estimated(), 0u);
+
+  // The epoch-boundary flush ships them with the left anchor's delay.
+  EXPECT_EQ(receiver.flush(), 2u);
+  ASSERT_EQ(estimates.size(), 2u);
+  EXPECT_DOUBLE_EQ(estimates[0], 2000.0);
+  EXPECT_DOUBLE_EQ(estimates[1], 2000.0);
+  EXPECT_EQ(receiver.packets_estimated(), 2u);
+  EXPECT_EQ(receiver.packets_flushed(), 2u);
+
+  // Empty buffer: flush is a no-op.
+  EXPECT_EQ(receiver.flush(), 0u);
+  EXPECT_EQ(receiver.packets_flushed(), 2u);
+
+  // The anchor survives the flush: later packets interpolate normally.
+  receiver.on_packet(regular(800), TimePoint(800));
+  receiver.on_packet(reference(1000, 4000, 1), TimePoint(1000));
+  ASSERT_EQ(estimates.size(), 3u);
+  EXPECT_DOUBLE_EQ(estimates[2], 2000.0 + 0.8 * 2000.0);
+  EXPECT_EQ(receiver.packets_estimated(), 3u);
+}
+
+TEST(RliReceiver, FlushBeforeAnyReferenceIsANoOp) {
+  timebase::PerfectClock clock;
+  RliReceiver receiver(ReceiverConfig{}, &clock);
+  receiver.on_packet(regular(100), TimePoint(100));  // unanchored, not buffered
+  EXPECT_EQ(receiver.flush(), 0u);
+  EXPECT_EQ(receiver.packets_flushed(), 0u);
+  EXPECT_EQ(receiver.packets_unanchored(), 1u);
+}
+
 }  // namespace
 }  // namespace rlir::rli

@@ -157,6 +157,76 @@ TEST(ShardedCollectorTest, TopKWorstFlows) {
   }
 }
 
+TEST(ShardedCollectorTest, TopKIndexMatchesFullScanOn10kRandomFlows) {
+  // The acceptance bar for the ingest-maintained rank index: on a 10k-flow
+  // randomized workload with repeated per-flow updates (quantiles move both
+  // up and down as records merge), the O(k·shards) heap path must return
+  // exactly what the full scan returns — same flows, same order, same
+  // values — for every k.
+  common::Xoshiro256 rng(31);
+  CollectorConfig config;
+  config.shard_count = 8;
+  ShardedCollector collector(config);
+  constexpr std::uint32_t kFlows = 10'000;
+  // Two passes so ~every flow gets a second record whose random base can be
+  // far above or below the first — the update path, not just inserts.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t i = 0; i < kFlows; ++i) {
+      collector.ingest(
+          make_record(i, i % 5, pass, rng.uniform(5e3, 500e3), rng, /*samples=*/4));
+    }
+  }
+  ASSERT_EQ(collector.flow_count(), kFlows);
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{10}, std::size_t{100},
+                              std::size_t{2'000}, std::size_t{20'000}}) {
+    const auto fast = collector.top_k_flows(k, 0.99);
+    const auto scan = collector.top_k_flows_scan(k, 0.99);
+    ASSERT_EQ(fast.size(), scan.size()) << "k=" << k;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i].key, scan[i].key) << "k=" << k << " rank " << i;
+      ASSERT_EQ(fast[i].p99_ns, scan[i].p99_ns) << "k=" << k << " rank " << i;
+      ASSERT_EQ(fast[i].packets, scan[i].packets) << "k=" << k << " rank " << i;
+    }
+  }
+
+  // A quantile the index is not keyed on transparently falls back to the
+  // scan — still correct, just not O(k).
+  const auto fast_p50 = collector.top_k_flows(25, 0.5);
+  const auto scan_p50 = collector.top_k_flows_scan(25, 0.5);
+  ASSERT_EQ(fast_p50.size(), scan_p50.size());
+  for (std::size_t i = 0; i < fast_p50.size(); ++i) {
+    EXPECT_EQ(fast_p50[i].key, scan_p50[i].key);
+  }
+}
+
+TEST(ShardedCollectorTest, TopKIndexSurvivesReplicaMerge) {
+  // merge() routes through the same index maintenance as ingest(); the
+  // merged collector's heap path must agree with its scan path.
+  common::Xoshiro256 rng(32);
+  ShardedCollector a(CollectorConfig{4, {}});
+  ShardedCollector b(CollectorConfig{2, {}});
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    (i % 2 == 0 ? a : b).ingest(make_record(i % 90, 0, 0, rng.uniform(10e3, 300e3), rng, 8));
+  }
+  a.merge(b);
+  const auto fast = a.top_k_flows(15, 0.99);
+  const auto scan = a.top_k_flows_scan(15, 0.99);
+  ASSERT_EQ(fast.size(), scan.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].key, scan[i].key) << "rank " << i;
+    EXPECT_EQ(fast[i].p99_ns, scan[i].p99_ns) << "rank " << i;
+  }
+}
+
+TEST(ShardedCollectorTest, BadTopKQuantileThrows) {
+  CollectorConfig config;
+  config.top_k_quantile = -0.1;
+  EXPECT_THROW(ShardedCollector{config}, std::invalid_argument);
+  config.top_k_quantile = 1.01;
+  EXPECT_THROW(ShardedCollector{config}, std::invalid_argument);
+}
+
 TEST(ShardedCollectorTest, ReplicaMergeEqualsSingleCollector) {
   // Two collector replicas (different shard counts, interleaved batches)
   // merged together must equal one collector that saw every record.
