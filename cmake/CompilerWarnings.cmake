@@ -6,16 +6,21 @@ add_library(rlir_options INTERFACE)
 # Release builds pin -O2 (overriding CMake's -O3 default) so perf numbers
 # are comparable across machines and CI; Debug keeps -O0 so sanitizer and
 # debugger frames stay readable.
+#
+# Everything is wrapped in $<BUILD_INTERFACE:...>: these are THIS project's
+# conventions, and rlir_options is exported with the package (rlir_core
+# PUBLIC-links it) — without the wrapper, find_package(rlir) consumers would
+# inherit our warning set, our -O2 pin, and (fatally) our -Werror.
 target_compile_options(rlir_options INTERFACE
-  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Wshadow -Wpedantic>
-  $<$<AND:$<CXX_COMPILER_ID:GNU,Clang,AppleClang>,$<CONFIG:Release>>:-O2>)
+  $<BUILD_INTERFACE:$<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall;-Wextra;-Wshadow;-Wpedantic>>
+  $<BUILD_INTERFACE:$<$<AND:$<CXX_COMPILER_ID:GNU,Clang,AppleClang>,$<CONFIG:Release>>:-O2>>)
 
 # -Werror rides on rlir_options so it applies to project targets only —
 # third-party code fetched in-tree (googletest, google-benchmark) builds with
 # its own flags and cannot break the build with warnings we don't own.
 if(RLIR_WERROR)
   target_compile_options(rlir_options INTERFACE
-    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+    $<BUILD_INTERFACE:$<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>>)
 endif()
 
 # Sanitizers apply directory-wide (not via rlir_options) so third-party code

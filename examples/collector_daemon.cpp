@@ -1,0 +1,109 @@
+// The shard-per-process deployment unit: a standalone collector daemon that
+// listens on a TCP or Unix-domain socket, drains framed EstimateRecord
+// batches from any number of vantage-point clients into a thread-per-shard
+// ConcurrentShardedCollector, and answers fleet queries in place.
+//
+//   ./collector_daemon --listen unix:/tmp/rlir-collector.sock
+//   ./collector_daemon --listen tcp:127.0.0.1:9100 --shards 8
+//
+// Pair it with examples/remote_fleet_query (runs a fat-tree measurement
+// workload, streams the records here, then queries), or any CollectorClient.
+// Runs until SIGINT/SIGTERM, or until --idle-exit-ms of silence after the
+// first connection (handy for scripted demos).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "transport/agent.h"
+#include "transport/socket.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen (tcp:HOST:PORT | unix:PATH) [--shards N] "
+               "[--idle-exit-ms MS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_text;
+  std::size_t shards = 8;
+  long idle_exit_ms = 0;  // 0 = run until signalled
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--idle-exit-ms") == 0 && i + 1 < argc) {
+      idle_exit_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (listen_text.empty() || shards == 0) return usage(argv[0]);
+
+  using namespace rlir;
+  try {
+    const auto address = transport::SocketAddress::parse(listen_text);
+    transport::CollectorAgentConfig cfg;
+    cfg.collector.shard_count = shards;
+    transport::CollectorAgent agent(cfg);
+    auto listener = std::make_unique<transport::SocketListener>(address);
+    std::printf("collector_daemon: listening on %s (%zu shards, thread-per-shard ingest)\n",
+                listener->address().to_string().c_str(), shards);
+    std::fflush(stdout);
+    agent.set_listener(std::move(listener));
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    // The poll loop, with idle-exit bookkeeping the library's run() doesn't
+    // need: a demo daemon should end itself once its client went away.
+    using Clock = std::chrono::steady_clock;
+    auto last_activity = Clock::now();
+    bool saw_connection = false;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      const std::size_t frames = agent.poll();
+      if (agent.connection_count() > 0) saw_connection = true;
+      if (frames > 0 || agent.connection_count() > 0) {
+        last_activity = Clock::now();
+      } else if (idle_exit_ms > 0 && saw_connection &&
+                 Clock::now() - last_activity > std::chrono::milliseconds(idle_exit_ms)) {
+        std::printf("collector_daemon: idle for %ld ms after last client, exiting\n",
+                    idle_exit_ms);
+        break;
+      }
+      if (frames == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const auto stats = agent.stats();
+    std::printf("collector_daemon: served %llu frames / %llu batches -> %llu records "
+                "(%llu estimates, %llu flows), %llu queries, %llu protocol errors\n",
+                static_cast<unsigned long long>(stats.frames_received),
+                static_cast<unsigned long long>(stats.batches_received),
+                static_cast<unsigned long long>(stats.records_ingested),
+                static_cast<unsigned long long>(stats.estimates_ingested),
+                static_cast<unsigned long long>(stats.flows),
+                static_cast<unsigned long long>(stats.queries_answered),
+                static_cast<unsigned long long>(stats.protocol_errors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "collector_daemon: %s\n", e.what());
+    return 1;
+  }
+}

@@ -206,7 +206,8 @@ common::LatencySketch ConcurrentShardedCollector::fleet() {
   return all;
 }
 
-std::vector<FlowSummary> ConcurrentShardedCollector::top_k_flows(std::size_t k, double q) {
+std::vector<RankedFlowSummary> ConcurrentShardedCollector::top_k_ranked(std::size_t k,
+                                                                        double q) {
   quiesce();
   std::vector<RankedFlowSummary> ranked;
   for (auto& lane : lanes_) {
@@ -219,7 +220,11 @@ std::vector<FlowSummary> ConcurrentShardedCollector::top_k_flows(std::size_t k, 
   // the shared ordering contract and truncate.
   std::sort(ranked.begin(), ranked.end(), ranked_worse_first);
   if (ranked.size() > k) ranked.resize(k);
-  return strip_ranks(std::move(ranked));
+  return ranked;
+}
+
+std::vector<FlowSummary> ConcurrentShardedCollector::top_k_flows(std::size_t k, double q) {
+  return strip_ranks(top_k_ranked(k, q));
 }
 
 ShardedCollector ConcurrentShardedCollector::snapshot() {

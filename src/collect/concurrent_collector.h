@@ -98,6 +98,9 @@ class ConcurrentShardedCollector {
   /// indexes) merged and re-truncated — the global top-k is always contained
   /// in the union of per-lane top-k's.
   [[nodiscard]] std::vector<FlowSummary> top_k_flows(std::size_t k, double q = 0.99);
+  /// top_k_flows with ranking values attached (what a higher tier or the
+  /// transport query plane merges/ships), same O(k·lanes) path.
+  [[nodiscard]] std::vector<RankedFlowSummary> top_k_ranked(std::size_t k, double q);
 
   /// A plain (single-threaded) ShardedCollector holding a merged copy of the
   /// current state — the bridge to the serial query/merge/replica APIs and

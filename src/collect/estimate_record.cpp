@@ -20,8 +20,8 @@ using common::wire::take_f64;
 
 constexpr std::array<char, 4> kMagic = {'R', 'L', 'E', 'S'};
 constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 8;      // magic, version, count
-constexpr std::size_t kRecordFixedSize = 13 + 4 + 2 + 4 +      // key, link, sender, epoch
-                                         8 + 4 +               // accuracy, max_bins
+constexpr std::size_t kKeyedFixedSize = 13 + 4 + 2 + 4;        // key, link, sender, epoch
+constexpr std::size_t kSketchFixedSize = 8 + 4 +               // accuracy, max_bins
                                          8 + 8 + 8 + 8 + 4;    // zero, sum, min, max, bin count
 constexpr std::size_t kBinSize = 4 + 8;                        // index, count
 /// Corruption guard: no honest sketch carries this many bins.
@@ -36,22 +36,12 @@ void encode_record(const EstimateRecord& r, std::uint8_t*& p) {
   put<std::uint32_t>(p, r.link);
   put<std::uint16_t>(p, r.sender);
   put<std::uint32_t>(p, r.epoch);
-  put_f64(p, r.sketch.config().relative_accuracy);
-  put<std::uint32_t>(p, static_cast<std::uint32_t>(r.sketch.config().max_bins));
-  put<std::uint64_t>(p, r.sketch.zero_count());
-  put_f64(p, r.sketch.sum());
-  put_f64(p, r.sketch.min());
-  put_f64(p, r.sketch.max());
-  put<std::uint32_t>(p, static_cast<std::uint32_t>(r.sketch.bin_count()));
-  for (const auto& [index, count] : r.sketch.bins()) {
-    put<std::int32_t>(p, index);
-    put<std::uint64_t>(p, count);
-  }
+  encode_sketch(p, r.sketch);
 }
 
 /// Parses one record at `p`, bounds-checked against `end`.
 EstimateRecord decode_record(const std::uint8_t*& p, const std::uint8_t* end) {
-  if (static_cast<std::size_t>(end - p) < kRecordFixedSize) {
+  if (static_cast<std::size_t>(end - p) < kKeyedFixedSize + kSketchFixedSize) {
     throw std::runtime_error("EstimateRecord: truncated record");
   }
   EstimateRecord r;
@@ -63,6 +53,34 @@ EstimateRecord decode_record(const std::uint8_t*& p, const std::uint8_t* end) {
   r.link = take<std::uint32_t>(p);
   r.sender = take<std::uint16_t>(p);
   r.epoch = take<std::uint32_t>(p);
+  r.sketch = decode_sketch(p, end);
+  return r;
+}
+
+}  // namespace
+
+std::size_t sketch_wire_size(const common::LatencySketch& sketch) {
+  return kSketchFixedSize + sketch.bin_count() * kBinSize;
+}
+
+void encode_sketch(std::uint8_t*& p, const common::LatencySketch& sketch) {
+  put_f64(p, sketch.config().relative_accuracy);
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(sketch.config().max_bins));
+  put<std::uint64_t>(p, sketch.zero_count());
+  put_f64(p, sketch.sum());
+  put_f64(p, sketch.min());
+  put_f64(p, sketch.max());
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(sketch.bin_count()));
+  for (const auto& [index, count] : sketch.bins()) {
+    put<std::int32_t>(p, index);
+    put<std::uint64_t>(p, count);
+  }
+}
+
+common::LatencySketch decode_sketch(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < kSketchFixedSize) {
+    throw std::runtime_error("EstimateRecord: truncated sketch");
+  }
   common::LatencySketchConfig config;
   config.relative_accuracy = take_f64(p);
   config.max_bins = take<std::uint32_t>(p);
@@ -89,18 +107,15 @@ EstimateRecord decode_record(const std::uint8_t*& p, const std::uint8_t* end) {
     bins[index] += count;
   }
   try {
-    r.sketch = common::LatencySketch::from_parts(config, zero_count, sum, min, max,
-                                                 std::move(bins));
+    return common::LatencySketch::from_parts(config, zero_count, sum, min, max,
+                                             std::move(bins));
   } catch (const std::invalid_argument& e) {
     throw std::runtime_error(std::string("EstimateRecord: corrupt sketch config: ") + e.what());
   }
-  return r;
 }
 
-}  // namespace
-
 std::size_t wire_size(const EstimateRecord& record) {
-  return kRecordFixedSize + record.sketch.bin_count() * kBinSize;
+  return kKeyedFixedSize + sketch_wire_size(record.sketch);
 }
 
 std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& records) {
@@ -115,7 +130,7 @@ std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& reco
   return buf;
 }
 
-std::vector<EstimateRecord> decode_records(const std::uint8_t* data, std::size_t size) {
+DecodedBatch decode_records_prefix(const std::uint8_t* data, std::size_t size) {
   const std::uint8_t* p = data;
   const std::uint8_t* end = data + size;
   if (size < kHeaderSize) throw std::runtime_error("EstimateRecord: truncated header");
@@ -129,13 +144,21 @@ std::vector<EstimateRecord> decode_records(const std::uint8_t* data, std::size_t
     throw std::runtime_error("EstimateRecord: unsupported version " + std::to_string(version));
   }
   const auto count = take<std::uint64_t>(p);
-  std::vector<EstimateRecord> records;
-  if (count < (1u << 20)) records.reserve(count);  // don't trust a corrupt count
+  DecodedBatch batch;
+  if (count < (1u << 20)) batch.records.reserve(count);  // don't trust a corrupt count
   for (std::uint64_t i = 0; i < count; ++i) {
-    records.push_back(decode_record(p, end));
+    batch.records.push_back(decode_record(p, end));
   }
-  if (p != end) throw std::runtime_error("EstimateRecord: trailing bytes after batch");
-  return records;
+  batch.bytes_consumed = static_cast<std::size_t>(p - data);
+  return batch;
+}
+
+std::vector<EstimateRecord> decode_records(const std::uint8_t* data, std::size_t size) {
+  auto batch = decode_records_prefix(data, size);
+  if (batch.bytes_consumed != size) {
+    throw std::runtime_error("EstimateRecord: trailing bytes after batch");
+  }
+  return std::move(batch.records);
 }
 
 void write_records(std::ostream& out, const std::vector<EstimateRecord>& records) {

@@ -52,10 +52,40 @@ void write_records(std::ostream& out, const std::vector<EstimateRecord>& records
 
 /// Byte-buffer conveniences (what an RPC transport would carry).
 [[nodiscard]] std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& records);
+/// Decodes exactly one batch spanning the whole buffer; trailing bytes are an
+/// error. For back-to-back batches use decode_records_prefix.
 [[nodiscard]] std::vector<EstimateRecord> decode_records(const std::uint8_t* data,
                                                          std::size_t size);
 
+/// One decoded batch plus where it ended — what a streaming consumer needs
+/// to pick up the next batch without re-scanning.
+struct DecodedBatch {
+  std::vector<EstimateRecord> records;
+  /// Bytes of the buffer this batch occupied (header + records); the next
+  /// batch, if any, starts at data + bytes_consumed.
+  std::size_t bytes_consumed = 0;
+};
+
+/// Decodes one batch from the front of the buffer, tolerating trailing bytes
+/// (the following batches of a coalesced stream). Throws std::runtime_error
+/// on malformed input, same as decode_records.
+[[nodiscard]] DecodedBatch decode_records_prefix(const std::uint8_t* data, std::size_t size);
+
 /// Exact wire size of one record in bytes (memory/bandwidth accounting).
 [[nodiscard]] std::size_t wire_size(const EstimateRecord& record);
+
+// --- Sketch segment helpers ------------------------------------------------
+// The sketch portion of a record (config, moments, bins) is a format of its
+// own, reused by the transport tier's query replies to ship bare sketches.
+
+/// Exact wire size of one sketch's segment in bytes.
+[[nodiscard]] std::size_t sketch_wire_size(const common::LatencySketch& sketch);
+/// Writes the sketch segment at `p`, advancing it; the caller guarantees
+/// sketch_wire_size() bytes of room.
+void encode_sketch(std::uint8_t*& p, const common::LatencySketch& sketch);
+/// Parses one sketch segment at `p` (advancing it), bounds-checked against
+/// `end`. Throws std::runtime_error on truncated/corrupt input.
+[[nodiscard]] common::LatencySketch decode_sketch(const std::uint8_t*& p,
+                                                  const std::uint8_t* end);
 
 }  // namespace rlir::collect

@@ -1,6 +1,7 @@
 #include "collect/fleet.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace rlir::collect {
 
@@ -38,18 +39,35 @@ const rlir::RlirReceiver& FleetCollector::receiver(LinkId link) const {
 
 topo::NodeId FleetCollector::node(LinkId link) const { return vantages_.at(link).node; }
 
+void FleetCollector::deliver(std::uint32_t epoch, const std::vector<EstimateRecord>& batch) {
+  collected_any_ = true;
+  if (remote_sink_) {
+    remote_sink_(epoch, batch);
+    return;
+  }
+  // Round-trip through the wire format: what a networked vantage would
+  // transmit is exactly what the collector ingests.
+  const auto bytes = encode_records(batch);
+  collector_.ingest(decode_records(bytes.data(), bytes.size()));
+}
+
 std::size_t FleetCollector::collect_epoch(std::uint32_t epoch) {
   std::size_t collected = 0;
   for (auto& v : vantages_) {
     const auto batch = v.exporter->drain(epoch);
     if (batch.empty()) continue;
-    // Round-trip through the wire format: what a networked vantage would
-    // transmit is exactly what the collector ingests.
-    const auto bytes = encode_records(batch);
-    collector_.ingest(decode_records(bytes.data(), bytes.size()));
+    deliver(epoch, batch);
     collected += batch.size();
   }
   return collected;
+}
+
+void FleetCollector::set_batch_sink(EpochScheduler::BatchSink sink) {
+  if (collected_any_) {
+    throw std::logic_error(
+        "FleetCollector::set_batch_sink: collection already started in-process");
+  }
+  remote_sink_ = std::move(sink);
 }
 
 void FleetCollector::attach_scheduler(EpochScheduler& scheduler) {
@@ -65,11 +83,10 @@ void FleetCollector::attach_scheduler(EpochScheduler& scheduler) {
   // deploy() keeps later vantages in sync (flush hook already iterates
   // vantages_ live; the exporter registration must match).
   scheduler_ = &scheduler;
-  scheduler.add_sink([this](std::uint32_t, const std::vector<EstimateRecord>& batch) {
-    // Same wire round-trip as collect_epoch: scheduler-driven collection
-    // exercises exactly what a networked deployment ships.
-    const auto bytes = encode_records(batch);
-    collector_.ingest(decode_records(bytes.data(), bytes.size()));
+  scheduler.add_sink([this](std::uint32_t epoch, const std::vector<EstimateRecord>& batch) {
+    // Same delivery as collect_epoch: the wire round-trip into the local
+    // collector, or the remote sink when one is set.
+    deliver(epoch, batch);
   });
 }
 

@@ -52,6 +52,15 @@ class FleetCollector {
   /// number of records collected.
   std::size_t collect_epoch(std::uint32_t epoch);
 
+  /// Redirects collection away from the in-process collector: when set,
+  /// collect_epoch and the scheduler sink hand every (epoch, batch) to
+  /// `sink` instead of ingesting locally — the hookup for shipping batches
+  /// to a remote CollectorAgent (transport tier) or any other consumer.
+  /// The local collector() then stays empty. Set before the first
+  /// collection; throws std::logic_error afterwards (split state would make
+  /// neither side answer fleet queries correctly).
+  void set_batch_sink(EpochScheduler::BatchSink sink);
+
   /// Hands epoch driving to `scheduler`: registers an epoch hook that
   /// flushes every vantage receiver's interpolation buffer, every vantage
   /// exporter for periodic drain/aging, and a sink that ships each batch
@@ -77,12 +86,19 @@ class FleetCollector {
     std::unique_ptr<EstimateExporter> exporter;
   };
 
+  /// Where a drained batch goes: the remote sink when set, otherwise the
+  /// wire round-trip into the local collector.
+  void deliver(std::uint32_t epoch, const std::vector<EstimateRecord>& batch);
+
   FleetConfig config_;
   const timebase::Clock* clock_;
   std::vector<Vantage> vantages_;
   ShardedCollector collector_;
   /// Set by attach_scheduler; deploy() registers later exporters with it.
   EpochScheduler* scheduler_ = nullptr;
+  EpochScheduler::BatchSink remote_sink_;
+  /// Guards set_batch_sink-after-collection (see header comment).
+  bool collected_any_ = false;
 };
 
 }  // namespace rlir::collect

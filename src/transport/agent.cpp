@@ -1,0 +1,185 @@
+#include "transport/agent.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "collect/estimate_record.h"
+
+namespace rlir::transport {
+
+CollectorAgent::CollectorAgent(CollectorAgentConfig config)
+    : config_(config), collector_(config.collector) {
+  if (config_.io_chunk == 0) {
+    throw std::invalid_argument("CollectorAgent: zero io_chunk");
+  }
+  if (config_.max_outbox_bytes == 0) {
+    throw std::invalid_argument("CollectorAgent: zero max_outbox_bytes");
+  }
+}
+
+void CollectorAgent::set_listener(std::unique_ptr<Listener> listener) {
+  listener_ = std::move(listener);
+}
+
+void CollectorAgent::add_connection(std::unique_ptr<ByteStream> stream) {
+  auto conn = std::make_unique<Connection>();
+  conn->stream = std::move(stream);
+  connections_.push_back(std::move(conn));
+  accepted_ += 1;
+}
+
+std::size_t CollectorAgent::poll() {
+  if (listener_ != nullptr) {
+    while (auto stream = listener_->accept()) add_connection(std::move(stream));
+  }
+  std::size_t frames = 0;
+  for (auto& conn : connections_) {
+    if (!conn->dead) frames += service(*conn);
+    if (!conn->dead) flush_outbox(*conn);
+    // A closed stream with nothing left to send is finished. (Protocol
+    // violations set dead directly.)
+    if (conn->stream->closed() && conn->outbox.size() == conn->outbox_offset) {
+      conn->dead = true;
+    }
+  }
+  const auto alive_end = std::remove_if(
+      connections_.begin(), connections_.end(),
+      [this](const std::unique_ptr<Connection>& c) {
+        if (c->dead) closed_ += 1;
+        return c->dead;
+      });
+  connections_.erase(alive_end, connections_.end());
+  return frames;
+}
+
+std::size_t CollectorAgent::service(Connection& conn) {
+  std::vector<std::uint8_t> chunk(config_.io_chunk);
+  for (;;) {
+    const std::size_t n = conn.stream->read_some(chunk.data(), chunk.size());
+    if (n == 0) break;
+    conn.decoder.feed(chunk.data(), n);
+  }
+  std::size_t frames = 0;
+  try {
+    while (auto frame = conn.decoder.next()) {
+      frames += 1;
+      frames_received_ += 1;
+      handle_frame(conn, *frame);
+    }
+  } catch (const FrameError&) {
+    // Bad magic/version/type/CRC/length: the stream cannot be resynced.
+    protocol_errors_ += 1;
+    conn.stream->close();
+    conn.dead = true;
+  } catch (const std::runtime_error&) {
+    // Framing was sound but a payload was corrupt (record batch or query
+    // that fails its own format checks). Same verdict: drop the peer.
+    protocol_errors_ += 1;
+    conn.stream->close();
+    conn.dead = true;
+  }
+  return frames;
+}
+
+void CollectorAgent::handle_frame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kRecordBatch: {
+      // One payload carries coalesced batches back-to-back; the prefix
+      // decoder walks them without re-scanning.
+      const std::uint8_t* p = frame.payload.data();
+      std::size_t remaining = frame.payload.size();
+      while (remaining > 0) {
+        auto batch = collect::decode_records_prefix(p, remaining);
+        p += batch.bytes_consumed;
+        remaining -= batch.bytes_consumed;
+        batches_received_ += 1;
+        if (!batch.records.empty()) collector_.submit(std::move(batch.records));
+      }
+      break;
+    }
+    case FrameType::kQuery: {
+      const auto query = decode_query(frame.payload.data(), frame.payload.size());
+      // Counted before building the reply so a kStats answer includes the
+      // query it is answering.
+      queries_answered_ += 1;
+      QueryReply reply;
+      reply.kind = query.kind;
+      switch (query.kind) {
+        case QueryKind::kFleet:
+          reply.fleet = collector_.fleet();
+          break;
+        case QueryKind::kTopK:
+          // Ranked form so a higher tier can merge several agents' answers;
+          // served from the live collector's per-lane rank indexes
+          // (O(k·lanes)), not a state copy.
+          reply.top = collector_.top_k_ranked(query.k, query.q);
+          break;
+        case QueryKind::kFlowQuantile:
+          reply.quantile = collector_.flow_quantile(query.key, query.q);
+          break;
+        case QueryKind::kStats:
+          reply.stats = stats();
+          break;
+      }
+      const auto bytes = encode_frame(FrameType::kQueryReply, encode_reply(reply));
+      if (conn.outbox.size() - conn.outbox_offset + bytes.size() > config_.max_outbox_bytes) {
+        // The peer queries but never reads: unread replies are the only
+        // allocation a client could otherwise grow without bound.
+        throw FrameError("CollectorAgent: reply outbox overflow (peer not reading)");
+      }
+      conn.outbox.insert(conn.outbox.end(), bytes.begin(), bytes.end());
+      break;
+    }
+    case FrameType::kQueryReply:
+      // Only agents produce replies; receiving one is a protocol violation.
+      throw FrameError("CollectorAgent: unexpected kQueryReply frame");
+  }
+}
+
+void CollectorAgent::flush_outbox(Connection& conn) {
+  while (conn.outbox_offset < conn.outbox.size()) {
+    const std::size_t n = conn.stream->write_some(conn.outbox.data() + conn.outbox_offset,
+                                                  conn.outbox.size() - conn.outbox_offset);
+    if (n == 0) {
+      // Slow reader: compact the written prefix so the buffer's footprint
+      // tracks the UNREAD bytes (which max_outbox_bytes bounds), not the
+      // connection's lifetime traffic.
+      if (conn.outbox_offset >= conn.outbox.size() / 2) {
+        conn.outbox.erase(conn.outbox.begin(),
+                          conn.outbox.begin() + static_cast<std::ptrdiff_t>(conn.outbox_offset));
+        conn.outbox_offset = 0;
+      }
+      return;
+    }
+    conn.outbox_offset += n;
+  }
+  conn.outbox.clear();
+  conn.outbox_offset = 0;
+}
+
+AgentStats CollectorAgent::stats() {
+  AgentStats s;
+  s.records_ingested = collector_.records_ingested();
+  s.estimates_ingested = collector_.estimates_ingested();
+  s.flows = collector_.flow_count();
+  s.epochs = collector_.epoch_count();
+  s.frames_received = frames_received_;
+  s.batches_received = batches_received_;
+  s.queries_answered = queries_answered_;
+  s.protocol_errors = protocol_errors_;
+  return s;
+}
+
+void CollectorAgent::run(const std::atomic<bool>& stop, timebase::Duration idle_sleep) {
+  const auto sleep_ns = std::chrono::nanoseconds(idle_sleep.ns());
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (poll() == 0) std::this_thread::sleep_for(sleep_ns);
+  }
+  // Final sweep so frames that raced the stop flag still land.
+  poll();
+}
+
+}  // namespace rlir::transport

@@ -1,0 +1,118 @@
+// The aggregator side of the transport tier: a CollectorAgent owns one
+// shard-group's ConcurrentShardedCollector and serves it over any number of
+// ByteStream connections — the "shard-per-process" deployment unit. One
+// agent process per shard group, many vantage-point clients streaming
+// framed record batches in, fleet queries answered in place.
+//
+//   connections (sockets / loopback pipes)
+//        │ bytes                      ▲ kQueryReply frames
+//        ▼                            │
+//   FrameDecoder per connection ──────┤
+//        │ kRecordBatch payloads      │ kQuery frames
+//        ▼                            │
+//   decode_records_prefix loop ───────┘
+//        │ EstimateRecord batches
+//        ▼
+//   ConcurrentShardedCollector (thread-per-shard ingest)
+//
+// poll() is the single-threaded reactor step: accept pending connections,
+// read every readable byte, process complete frames, flush reply bytes.
+// A connection that violates the protocol (bad magic/CRC/length, a frame
+// type only agents send) is counted and dropped — on a raw byte stream
+// there is no safe resync. run() wraps poll() into a daemon loop.
+//
+// Threading: poll()/run() from one thread at a time. The collector itself
+// is thread-safe, so queries against collector() from other threads are
+// fine (they quiesce), as is wiring additional in-process producers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collect/concurrent_collector.h"
+#include "timebase/time.h"
+#include "transport/byte_stream.h"
+#include "transport/frame.h"
+#include "transport/messages.h"
+
+namespace rlir::transport {
+
+struct CollectorAgentConfig {
+  /// The shard group this process owns.
+  collect::ConcurrentCollectorConfig collector;
+  /// Per-connection read granularity per poll().
+  std::size_t io_chunk = 64u << 10;
+  /// Cap on a connection's unread reply bytes. A peer that keeps querying
+  /// without reading replies is dropped like any other protocol violator —
+  /// every other allocation on the untrusted input path is bounded, and
+  /// this keeps the outbox from being the exception. Must be > 0.
+  std::size_t max_outbox_bytes = 8u << 20;
+};
+
+class CollectorAgent {
+ public:
+  explicit CollectorAgent(CollectorAgentConfig config = {});
+
+  CollectorAgent(const CollectorAgent&) = delete;
+  CollectorAgent& operator=(const CollectorAgent&) = delete;
+
+  /// Accept-side hookup (socket deployment). The agent polls it for new
+  /// connections on every poll().
+  void set_listener(std::unique_ptr<Listener> listener);
+
+  /// Adopts an already-connected stream (loopback tests, in-process tiers).
+  void add_connection(std::unique_ptr<ByteStream> stream);
+
+  /// One reactor step: accept, read, process frames, write replies, reap
+  /// dead connections. Returns the number of frames processed (0 = idle).
+  std::size_t poll();
+
+  /// Daemon loop: poll() until `stop` is set, sleeping `idle_sleep` between
+  /// idle polls (busy polls go straight back around).
+  void run(const std::atomic<bool>& stop,
+           timebase::Duration idle_sleep = timebase::Duration::milliseconds(1));
+
+  /// The shard-group state (thread-safe; queries quiesce ingest).
+  [[nodiscard]] collect::ConcurrentShardedCollector& collector() { return collector_; }
+
+  /// Counters served to kStats queries (collector totals + agent protocol
+  /// accounting).
+  [[nodiscard]] AgentStats stats();
+
+  [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
+  [[nodiscard]] std::uint64_t connections_accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t connections_closed() const { return closed_; }
+  [[nodiscard]] std::uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  struct Connection {
+    std::unique_ptr<ByteStream> stream;
+    FrameDecoder decoder;
+    /// Reply bytes not yet accepted by the stream.
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_offset = 0;
+    bool dead = false;
+  };
+
+  /// Reads available bytes and processes the frames they complete; marks the
+  /// connection dead on protocol violations.
+  std::size_t service(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void flush_outbox(Connection& conn);
+
+  CollectorAgentConfig config_;
+  collect::ConcurrentShardedCollector collector_;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::uint64_t accepted_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t batches_received_ = 0;
+  std::uint64_t queries_answered_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace rlir::transport

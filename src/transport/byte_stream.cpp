@@ -1,0 +1,85 @@
+#include "transport/byte_stream.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+namespace rlir::transport {
+
+namespace {
+
+/// Shared state of one loopback pipe: two directions, one lock. The lock is
+/// per-pipe (not per-direction) so close() can flip both directions
+/// atomically; loopback traffic is test/sim traffic, never a hot path.
+struct PipeState {
+  std::mutex mu;
+  struct Direction {
+    std::deque<std::uint8_t> bytes;
+    /// The writing end closed; readers drain what's left, then see EOF.
+    bool writer_closed = false;
+  };
+  Direction dir[2];
+  std::size_t capacity;
+
+  explicit PipeState(std::size_t cap) : capacity(cap) {}
+};
+
+/// One end of the pipe: writes into dir[side], reads from dir[1 - side].
+class LoopbackEnd final : public ByteStream {
+ public:
+  LoopbackEnd(std::shared_ptr<PipeState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  ~LoopbackEnd() override { close(); }
+
+  std::size_t write_some(const std::uint8_t* data, std::size_t size) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto& out = state_->dir[side_];
+    // Writing after either side's close moves nothing: the reader is gone
+    // (or we are), so accepting bytes would fake progress.
+    if (out.writer_closed || state_->dir[1 - side_].writer_closed) return 0;
+    std::size_t room = size;
+    if (state_->capacity > 0) {
+      const std::size_t used = out.bytes.size();
+      room = used >= state_->capacity ? 0 : std::min(size, state_->capacity - used);
+    }
+    out.bytes.insert(out.bytes.end(), data, data + room);
+    return room;
+  }
+
+  std::size_t read_some(std::uint8_t* data, std::size_t size) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto& in = state_->dir[1 - side_];
+    const std::size_t n = std::min(size, in.bytes.size());
+    std::copy_n(in.bytes.begin(), n, data);
+    in.bytes.erase(in.bytes.begin(), in.bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    return n;
+  }
+
+  [[nodiscard]] bool closed() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    const auto& in = state_->dir[1 - side_];
+    return state_->dir[side_].writer_closed || (in.writer_closed && in.bytes.empty());
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    // Our outbound direction ends; anything we already wrote stays readable
+    // by the peer (half-close draining, like shutdown(SHUT_WR) + close).
+    state_->dir[side_].writer_closed = true;
+  }
+
+ private:
+  std::shared_ptr<PipeState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>> make_loopback(
+    std::size_t capacity) {
+  auto state = std::make_shared<PipeState>(capacity);
+  return {std::make_unique<LoopbackEnd>(state, 0), std::make_unique<LoopbackEnd>(state, 1)};
+}
+
+}  // namespace rlir::transport

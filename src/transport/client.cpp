@@ -1,0 +1,203 @@
+#include "transport/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rlir::transport {
+
+CollectorClient::CollectorClient(CollectorClientConfig config, StreamFactory factory)
+    : config_(config), factory_(std::move(factory)) {
+  if (config_.max_buffered_bytes == 0 || config_.coalesce_bytes == 0) {
+    throw std::invalid_argument("CollectorClient: zero buffer/coalesce size");
+  }
+  if (config_.io_chunk == 0) {
+    throw std::invalid_argument("CollectorClient: zero io_chunk");
+  }
+  if (!factory_) {
+    throw std::invalid_argument("CollectorClient: null stream factory");
+  }
+  // Eager first dial so a healthy deployment starts connected; failure just
+  // arms the backoff like any later outage.
+  ensure_connected();
+}
+
+void CollectorClient::submit(std::uint32_t epoch,
+                             const std::vector<collect::EstimateRecord>& batch) {
+  if (batch.empty()) return;
+  // Re-stamping the epoch is the caller's business; the batch is encoded
+  // as-is. (Exporter batches already carry the epoch in every record.)
+  (void)epoch;
+  const auto bytes = collect::encode_records(batch);
+  coalescing_.insert(coalescing_.end(), bytes.begin(), bytes.end());
+  coalescing_records_ += batch.size();
+  stats_.batches_submitted += 1;
+  stats_.records_submitted += batch.size();
+  if (coalescing_.size() >= config_.coalesce_bytes) seal_coalescing();
+}
+
+void CollectorClient::flush() { seal_coalescing(); }
+
+void CollectorClient::seal_coalescing() {
+  if (coalescing_.empty()) return;
+  QueuedFrame frame;
+  frame.bytes = encode_frame(FrameType::kRecordBatch, coalescing_);
+  frame.records = coalescing_records_;
+  frame.is_batch = true;
+  coalescing_.clear();
+  coalescing_records_ = 0;
+  enqueue(std::move(frame));
+}
+
+void CollectorClient::enqueue(QueuedFrame frame) {
+  buffered_bytes_ += frame.bytes.size();
+  queue_.push_back(std::move(frame));
+  stats_.frames_queued += 1;
+  shed_to_cap();
+}
+
+void CollectorClient::shed_to_cap() {
+  // Oldest batch first; the front frame is immune while partially written
+  // (dropping sent bytes would desynchronize the framing), and query frames
+  // are immune always (tiny, and the reply pairing depends on them).
+  std::size_t i = front_offset_ > 0 ? 1 : 0;
+  while (buffered_bytes_ > config_.max_buffered_bytes && i < queue_.size()) {
+    if (!queue_[i].is_batch) {
+      ++i;
+      continue;
+    }
+    buffered_bytes_ -= queue_[i].bytes.size();
+    stats_.batch_frames_shed += 1;
+    stats_.records_shed += queue_[i].records;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+bool CollectorClient::ensure_connected() {
+  if (stream_ != nullptr && !stream_->closed()) return true;
+  if (stream_ != nullptr) {
+    // The connection died. Whatever was partially written is gone with it;
+    // resend the front frame whole on the next connection.
+    stream_.reset();
+    front_offset_ = 0;
+    // A reply can't arrive on a new connection for a query sent on the old
+    // one; surface the timeout instead of waiting forever.
+    reply_decoder_ = FrameDecoder();
+    query_outstanding_ = false;
+  }
+  if (backoff_countdown_ > 0) {
+    --backoff_countdown_;
+    return false;
+  }
+  auto stream = factory_();
+  if (stream == nullptr || stream->closed()) {
+    stats_.connect_failures += 1;
+    backoff_ = backoff_ == 0 ? config_.reconnect_backoff_initial
+                             : std::min(backoff_ * 2, config_.reconnect_backoff_max);
+    backoff_countdown_ = backoff_;
+    return false;
+  }
+  if (ever_connected_) stats_.reconnects += 1;
+  ever_connected_ = true;
+  stream_ = std::move(stream);
+  backoff_ = 0;
+  backoff_countdown_ = 0;
+  return true;
+}
+
+std::size_t CollectorClient::pump() {
+  if (!ensure_connected()) return 0;
+  std::size_t written = 0;
+  while (!queue_.empty()) {
+    auto& front = queue_.front();
+    const std::size_t remaining = front.bytes.size() - front_offset_;
+    const std::size_t chunk = std::min(remaining, config_.io_chunk);
+    const std::size_t n = stream_->write_some(front.bytes.data() + front_offset_, chunk);
+    if (n == 0) {
+      // Full or died; a died stream is picked up by the next pump's dial.
+      break;
+    }
+    written += n;
+    front_offset_ += n;
+    if (front_offset_ == front.bytes.size()) {
+      buffered_bytes_ -= front.bytes.size();
+      stats_.frames_sent += 1;
+      queue_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+  stats_.bytes_sent += written;
+  return written;
+}
+
+bool CollectorClient::drain(std::size_t max_pumps) {
+  flush();
+  for (std::size_t i = 0; i < max_pumps; ++i) {
+    if (queue_.empty()) return true;
+    pump();
+  }
+  return queue_.empty();
+}
+
+void CollectorClient::send_query(const Query& query) {
+  if (query_outstanding_) {
+    throw std::logic_error("CollectorClient: a query is already outstanding");
+  }
+  // Seal first so the reply reflects at least every record submitted before
+  // the query (frames are delivered in queue order).
+  seal_coalescing();
+  QueuedFrame frame;
+  frame.bytes = encode_frame(FrameType::kQuery, encode_query(query));
+  enqueue(std::move(frame));
+  query_outstanding_ = true;
+  stats_.queries_sent += 1;
+}
+
+std::optional<QueryReply> CollectorClient::poll_reply() {
+  if (!query_outstanding_ || stream_ == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> chunk(config_.io_chunk);
+  for (;;) {
+    const std::size_t n = stream_->read_some(chunk.data(), chunk.size());
+    if (n == 0) break;
+    reply_decoder_.feed(chunk.data(), n);
+  }
+  std::optional<Frame> frame;
+  try {
+    frame = reply_decoder_.next();
+  } catch (const FrameError&) {
+    // A peer speaking garbage is indistinguishable from corruption: drop
+    // the connection (reconnect machinery takes over) and rethrow.
+    stream_->close();
+    throw;
+  }
+  if (!frame.has_value()) return std::nullopt;
+  if (frame->type != FrameType::kQueryReply) {
+    stream_->close();
+    throw FrameError("CollectorClient: unexpected frame type from agent");
+  }
+  query_outstanding_ = false;
+  stats_.replies_received += 1;
+  return decode_reply(frame->payload.data(), frame->payload.size());
+}
+
+std::optional<QueryReply> CollectorClient::query(const Query& q, std::size_t max_pumps) {
+  send_query(q);
+  for (std::size_t i = 0; i < max_pumps; ++i) {
+    pump();
+    if (auto reply = poll_reply(); reply.has_value()) return reply;
+    if (!query_outstanding_) return std::nullopt;  // connection died, query lost
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return std::nullopt;
+}
+
+collect::EpochScheduler::BatchSink CollectorClient::make_sink() {
+  return [this](std::uint32_t epoch, const std::vector<collect::EstimateRecord>& batch) {
+    submit(epoch, batch);
+    pump();
+  };
+}
+
+}  // namespace rlir::transport

@@ -1,0 +1,181 @@
+// The vantage-point side of the transport tier: a CollectorClient takes the
+// EstimateRecord batches an exporter/scheduler produces, coalesces them
+// into framed kRecordBatch messages, and ships them over a ByteStream to a
+// CollectorAgent — with the failure handling a real deployment needs:
+//
+//   * bounded send buffering: queued-but-unsent frames never exceed
+//     max_buffered_bytes; overflow sheds the OLDEST queued batch frame
+//     (newest telemetry is worth the most) and counts what was dropped;
+//   * batch coalescing: small per-exporter batches accumulate until
+//     coalesce_bytes (or a flush), so one frame carries many batches
+//     back-to-back — the agent splits them with decode_records_prefix;
+//   * reconnect with backoff: a dead stream is re-dialed via the stream
+//     factory after a doubling number of pump() calls; a frame that was
+//     partially written when the connection died is resent from its first
+//     byte (the agent discarded the partial frame with the connection).
+//
+// Threading: not thread-safe. One owner drives submit()/pump()/queries —
+// in scheduler deployments that is the scheduler's firing thread (make_sink
+// runs submit+pump inline).
+//
+// Delivery contract: at-most-once. Bytes acknowledged by the kernel/pipe
+// can still die with a connection; the collection tier's sketches tolerate
+// gaps by design (an epoch gap is missing data, not corruption).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collect/epoch_scheduler.h"
+#include "collect/estimate_record.h"
+#include "transport/byte_stream.h"
+#include "transport/frame.h"
+#include "transport/messages.h"
+
+namespace rlir::transport {
+
+struct CollectorClientConfig {
+  /// Cap on queued-but-unsent frame bytes. Exceeding it sheds the oldest
+  /// complete (not partially written) batch frame until back under the cap.
+  /// Must be > 0.
+  std::size_t max_buffered_bytes = 4u << 20;
+  /// Seal the coalescing buffer into a frame once it holds this many payload
+  /// bytes. Smaller = lower latency, larger = fewer frames. Must be > 0.
+  std::size_t coalesce_bytes = 64u << 10;
+  /// pump() calls to wait before the first reconnect attempt after a dial
+  /// failure; doubles per failure up to reconnect_backoff_max. Counted in
+  /// pump() calls (not wall time) so backoff is deterministic under test
+  /// and paces with the driving cadence in deployment.
+  std::uint32_t reconnect_backoff_initial = 1;
+  std::uint32_t reconnect_backoff_max = 64;
+  /// Per-pump() I/O granularity.
+  std::size_t io_chunk = 64u << 10;
+};
+
+class CollectorClient {
+ public:
+  /// Dials (and re-dials) the agent. Returning nullptr = attempt failed,
+  /// consume backoff and retry later.
+  using StreamFactory = std::function<std::unique_ptr<ByteStream>()>;
+
+  /// Throws std::invalid_argument on a zero cap/coalesce size or a null
+  /// factory. Dials eagerly; a failed first dial just starts the backoff.
+  CollectorClient(CollectorClientConfig config, StreamFactory factory);
+
+  CollectorClient(const CollectorClient&) = delete;
+  CollectorClient& operator=(const CollectorClient&) = delete;
+
+  // --- Record plane --------------------------------------------------------
+
+  /// Adds one epoch batch to the coalescing buffer (empty batches are
+  /// dropped); seals a frame when coalesce_bytes is reached. Does no I/O —
+  /// pair with pump().
+  void submit(std::uint32_t epoch, const std::vector<collect::EstimateRecord>& batch);
+
+  /// Seals the coalescing buffer into a queued frame now (epoch boundary,
+  /// shutdown). No-op when empty.
+  void flush();
+
+  /// Drives the connection: dial/backoff if dead, then write queued frames
+  /// until the stream stops taking bytes. Returns bytes written this call.
+  std::size_t pump();
+
+  /// flush() + pump() until everything queued is on the wire or `max_pumps`
+  /// is exhausted (stalled peer / shed-to-empty). True if fully drained.
+  bool drain(std::size_t max_pumps = 1024);
+
+  // --- Query plane ---------------------------------------------------------
+
+  /// Sends a query frame (jumps the record queue's coalescing buffer but not
+  /// queued record frames — replies reflect everything sent before them on
+  /// this connection). One outstanding query at a time; a new send_query
+  /// while one is pending throws std::logic_error.
+  void send_query(const Query& query);
+
+  /// Nonblocking: reads reply bytes if any arrived; returns the decoded
+  /// reply once complete. Malformed reply bytes throw FrameError /
+  /// std::runtime_error (the stream is then closed).
+  [[nodiscard]] std::optional<QueryReply> poll_reply();
+
+  /// Convenience loop for live (socket) deployments: send, then pump +
+  /// poll_reply up to `max_pumps` times, sleeping ~100us between rounds.
+  /// nullopt = no reply in time. For single-threaded loopback setups drive
+  /// the agent yourself and use send_query/poll_reply directly.
+  [[nodiscard]] std::optional<QueryReply> query(const Query& query, std::size_t max_pumps = 20000);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// A BatchSink that submits and pumps — plug into EpochScheduler::add_sink
+  /// (or FleetCollector::set_batch_sink). The client must outlive the
+  /// scheduler's last firing.
+  [[nodiscard]] collect::EpochScheduler::BatchSink make_sink();
+
+  [[nodiscard]] bool connected() const { return stream_ != nullptr && !stream_->closed(); }
+  /// Queued-but-unsent frame bytes (excludes the coalescing buffer).
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffered_bytes_; }
+  /// Records sitting in the coalescing buffer (not yet framed).
+  [[nodiscard]] std::size_t coalescing_records() const { return coalescing_records_; }
+
+  struct Stats {
+    std::uint64_t batches_submitted = 0;
+    std::uint64_t records_submitted = 0;
+    std::uint64_t frames_queued = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    /// Oldest-first shedding under the buffer cap.
+    std::uint64_t batch_frames_shed = 0;
+    std::uint64_t records_shed = 0;
+    /// Successful re-dials after a dead stream (the first dial is not one).
+    std::uint64_t reconnects = 0;
+    std::uint64_t connect_failures = 0;
+    std::uint64_t queries_sent = 0;
+    std::uint64_t replies_received = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] const CollectorClientConfig& config() const { return config_; }
+
+ private:
+  /// One queued frame; `records` lets shedding report what was lost.
+  struct QueuedFrame {
+    std::vector<std::uint8_t> bytes;
+    std::size_t records = 0;
+    bool is_batch = false;
+  };
+
+  void seal_coalescing();
+  void enqueue(QueuedFrame frame);
+  void shed_to_cap();
+  /// True when a usable stream exists after dial/backoff bookkeeping.
+  bool ensure_connected();
+
+  CollectorClientConfig config_;
+  StreamFactory factory_;
+  std::unique_ptr<ByteStream> stream_;
+  bool ever_connected_ = false;
+
+  /// Doubling backoff state: pumps to skip before the next dial attempt.
+  std::uint32_t backoff_ = 0;
+  std::uint32_t backoff_countdown_ = 0;
+
+  /// Coalescing buffer: encoded batches back-to-back (one future payload).
+  std::vector<std::uint8_t> coalescing_;
+  std::size_t coalescing_records_ = 0;
+
+  std::deque<QueuedFrame> queue_;
+  std::size_t buffered_bytes_ = 0;
+  /// Bytes of queue_.front() already written (resets on reconnect: the dead
+  /// connection took the partial frame with it).
+  std::size_t front_offset_ = 0;
+
+  FrameDecoder reply_decoder_;
+  bool query_outstanding_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace rlir::transport

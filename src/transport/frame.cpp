@@ -1,0 +1,107 @@
+#include "transport/frame.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/wire.h"
+#include "net/hash.h"
+
+namespace rlir::transport {
+
+namespace {
+
+using common::wire::put;
+using common::wire::take;
+
+constexpr std::array<char, 4> kMagic = {'R', 'L', 'T', 'F'};
+
+[[nodiscard]] std::uint32_t payload_crc(const std::uint8_t* payload, std::size_t size) {
+  return net::crc32c(std::as_bytes(std::span<const std::uint8_t>(payload, size)));
+}
+
+[[nodiscard]] bool known_type(std::uint8_t t) {
+  return t == static_cast<std::uint8_t>(FrameType::kRecordBatch) ||
+         t == static_cast<std::uint8_t>(FrameType::kQuery) ||
+         t == static_cast<std::uint8_t>(FrameType::kQueryReply);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameType type, const std::uint8_t* payload,
+                                       std::size_t size) {
+  std::vector<std::uint8_t> buf(kFrameHeaderSize + size);
+  std::uint8_t* p = buf.data();
+  for (char c : kMagic) put<std::uint8_t>(p, static_cast<std::uint8_t>(c));
+  put<std::uint8_t>(p, kFrameVersion);
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(type));
+  put<std::uint16_t>(p, 0);  // reserved
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(size));
+  put<std::uint32_t>(p, payload_crc(payload, size));
+  std::copy_n(payload, size, p);
+  return buf;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, const std::vector<std::uint8_t>& payload) {
+  return encode_frame(type, payload.data(), payload.size());
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // don't grow the buffer without bound while staying O(1) amortized.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw FrameError("FrameDecoder: stream already failed");
+  if (buffer_.size() - consumed_ < kFrameHeaderSize) return std::nullopt;
+
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  for (char c : kMagic) {
+    if (take<std::uint8_t>(p) != static_cast<std::uint8_t>(c)) {
+      poisoned_ = true;
+      throw FrameError("Frame: bad magic");
+    }
+  }
+  const auto version = take<std::uint8_t>(p);
+  if (version != kFrameVersion) {
+    poisoned_ = true;
+    throw FrameError("Frame: unsupported version " + std::to_string(version));
+  }
+  const auto type = take<std::uint8_t>(p);
+  if (!known_type(type)) {
+    poisoned_ = true;
+    throw FrameError("Frame: unknown type " + std::to_string(type));
+  }
+  const auto reserved = take<std::uint16_t>(p);
+  if (reserved != 0) {
+    poisoned_ = true;
+    throw FrameError("Frame: nonzero reserved field");
+  }
+  const auto length = take<std::uint32_t>(p);
+  if (length > kMaxFramePayload) {
+    poisoned_ = true;
+    throw FrameError("Frame: implausible payload length " + std::to_string(length));
+  }
+  const auto crc = take<std::uint32_t>(p);
+
+  if (buffer_.size() - consumed_ < kFrameHeaderSize + length) return std::nullopt;
+
+  if (payload_crc(p, length) != crc) {
+    poisoned_ = true;
+    throw FrameError("Frame: payload CRC mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(p, p + length);
+  consumed_ += kFrameHeaderSize + length;
+  return frame;
+}
+
+}  // namespace rlir::transport

@@ -1,0 +1,92 @@
+// The transport tier's framing: length-prefixed, CRC-guarded messages over
+// an untrusted byte stream. A frame is the unit the collector client and
+// agent exchange; the payload is opaque here (record batches, queries,
+// query replies — see transport/messages.h).
+//
+//   frame: magic "RLTF" | u8 version | u8 type | u16 reserved (0)
+//          | u32 payload length | u32 CRC-32C(payload) | payload bytes
+//
+// Same conventions as every other wire format in the repo (little-endian,
+// field-by-field packing via common/wire.h, magic + version up front,
+// corruption guards that reject instead of guessing). The CRC is over the
+// payload only — the header fields are each individually validatable, and
+// a corrupted length is caught by the length guard before any allocation.
+//
+// FrameDecoder is incremental: feed it whatever read_some produced, pop
+// complete frames as they materialize. Malformed input throws FrameError;
+// the only safe recovery on a byte stream with no resync marks is to drop
+// the connection, which is what the agent does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace rlir::transport {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Header bytes preceding every payload: magic(4) + version(1) + type(1) +
+/// reserved(2) + length(4) + crc(4).
+inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 2 + 4 + 4;
+
+/// Corruption guard: no honest frame carries more than this. A flipped bit
+/// in the length field must not make the decoder allocate gigabytes.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  /// One or more EstimateRecord batches, back-to-back (decode with
+  /// collect::decode_records_prefix until the payload is exhausted).
+  kRecordBatch = 1,
+  /// A fleet query (transport/messages.h encoding).
+  kQuery = 2,
+  /// The answer to the connection's oldest unanswered kQuery.
+  kQueryReply = 3,
+};
+
+struct Frame {
+  FrameType type = FrameType::kRecordBatch;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Thrown on malformed input: bad magic, unsupported version, unknown type,
+/// oversized length, or a payload failing its CRC.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes one frame (header + CRC + payload copy).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(FrameType type,
+                                                     const std::uint8_t* payload,
+                                                     std::size_t size);
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(FrameType type,
+                                                     const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame parser over an arbitrary chunking of the byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes (any chunk size, including one byte at a
+  /// time). Cheap; parsing happens in next().
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Pops the next complete frame, or nullopt when the buffered bytes end
+  /// mid-frame (feed more). Throws FrameError on malformed input; after a
+  /// throw the decoder is poisoned and every later next() rethrows — drop
+  /// the connection.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  /// Prefix of buffer_ already handed out as frames (compacted lazily so
+  /// feed() isn't O(buffer) per call).
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace rlir::transport

@@ -1,0 +1,191 @@
+#include "transport/messages.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "collect/estimate_record.h"
+#include "common/wire.h"
+#include "net/ipv4.h"
+
+namespace rlir::transport {
+
+namespace {
+
+using common::wire::put;
+using common::wire::put_f64;
+using common::wire::take;
+using common::wire::take_f64;
+
+constexpr std::size_t kTupleSize = 4 + 4 + 2 + 2 + 1;
+constexpr std::size_t kQuerySize = 1 + 4 + 8 + kTupleSize;
+constexpr std::size_t kTopEntrySize = 8 + kTupleSize + 8 + 8 + 8 + 8 + 8;
+/// Corruption guard, mirroring the record format's bin guard.
+constexpr std::uint32_t kMaxTopEntries = 1u << 20;
+
+void put_tuple(std::uint8_t*& p, const net::FiveTuple& key) {
+  put<std::uint32_t>(p, key.src.value());
+  put<std::uint32_t>(p, key.dst.value());
+  put<std::uint16_t>(p, key.src_port);
+  put<std::uint16_t>(p, key.dst_port);
+  put<std::uint8_t>(p, key.proto);
+}
+
+net::FiveTuple take_tuple(const std::uint8_t*& p) {
+  net::FiveTuple key;
+  key.src = net::Ipv4Address(take<std::uint32_t>(p));
+  key.dst = net::Ipv4Address(take<std::uint32_t>(p));
+  key.src_port = take<std::uint16_t>(p);
+  key.dst_port = take<std::uint16_t>(p);
+  key.proto = take<std::uint8_t>(p);
+  return key;
+}
+
+[[nodiscard]] bool known_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(QueryKind::kFleet) &&
+         k <= static_cast<std::uint8_t>(QueryKind::kStats);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query(const Query& query) {
+  std::vector<std::uint8_t> buf(kQuerySize);
+  std::uint8_t* p = buf.data();
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(query.kind));
+  put<std::uint32_t>(p, query.k);
+  put_f64(p, query.q);
+  put_tuple(p, query.key);
+  return buf;
+}
+
+Query decode_query(const std::uint8_t* data, std::size_t size) {
+  if (size != kQuerySize) throw std::runtime_error("Query: wrong payload size");
+  const std::uint8_t* p = data;
+  Query query;
+  const auto kind = take<std::uint8_t>(p);
+  if (!known_kind(kind)) {
+    throw std::runtime_error("Query: unknown kind " + std::to_string(kind));
+  }
+  query.kind = static_cast<QueryKind>(kind);
+  query.k = take<std::uint32_t>(p);
+  query.q = take_f64(p);
+  if (!(query.q >= 0.0 && query.q <= 1.0)) {  // also rejects NaN
+    throw std::runtime_error("Query: quantile outside [0, 1]");
+  }
+  query.key = take_tuple(p);
+  return query;
+}
+
+std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
+  std::size_t body = 0;
+  switch (reply.kind) {
+    case QueryKind::kFleet:
+      body = collect::sketch_wire_size(reply.fleet);
+      break;
+    case QueryKind::kTopK:
+      body = 4 + reply.top.size() * kTopEntrySize;
+      break;
+    case QueryKind::kFlowQuantile:
+      body = 1 + 8;
+      break;
+    case QueryKind::kStats:
+      body = 8 * 8;
+      break;
+  }
+  std::vector<std::uint8_t> buf(1 + body);
+  std::uint8_t* p = buf.data();
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(reply.kind));
+  switch (reply.kind) {
+    case QueryKind::kFleet:
+      collect::encode_sketch(p, reply.fleet);
+      break;
+    case QueryKind::kTopK:
+      put<std::uint32_t>(p, static_cast<std::uint32_t>(reply.top.size()));
+      for (const auto& [rank, flow] : reply.top) {
+        put_f64(p, rank);
+        put_tuple(p, flow.key);
+        put<std::uint64_t>(p, flow.packets);
+        put_f64(p, flow.mean_ns);
+        put_f64(p, flow.p50_ns);
+        put_f64(p, flow.p99_ns);
+        put_f64(p, flow.max_ns);
+      }
+      break;
+    case QueryKind::kFlowQuantile:
+      put<std::uint8_t>(p, reply.quantile.has_value() ? 1 : 0);
+      put_f64(p, reply.quantile.value_or(0.0));
+      break;
+    case QueryKind::kStats:
+      put<std::uint64_t>(p, reply.stats.records_ingested);
+      put<std::uint64_t>(p, reply.stats.estimates_ingested);
+      put<std::uint64_t>(p, reply.stats.flows);
+      put<std::uint64_t>(p, reply.stats.epochs);
+      put<std::uint64_t>(p, reply.stats.frames_received);
+      put<std::uint64_t>(p, reply.stats.batches_received);
+      put<std::uint64_t>(p, reply.stats.queries_answered);
+      put<std::uint64_t>(p, reply.stats.protocol_errors);
+      break;
+  }
+  return buf;
+}
+
+QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) throw std::runtime_error("QueryReply: empty payload");
+  const std::uint8_t* p = data;
+  const std::uint8_t* end = data + size;
+  QueryReply reply;
+  const auto kind = take<std::uint8_t>(p);
+  if (!known_kind(kind)) {
+    throw std::runtime_error("QueryReply: unknown kind " + std::to_string(kind));
+  }
+  reply.kind = static_cast<QueryKind>(kind);
+  switch (reply.kind) {
+    case QueryKind::kFleet:
+      reply.fleet = collect::decode_sketch(p, end);
+      break;
+    case QueryKind::kTopK: {
+      if (end - p < 4) throw std::runtime_error("QueryReply: truncated top-k count");
+      const auto count = take<std::uint32_t>(p);
+      if (count > kMaxTopEntries) {
+        throw std::runtime_error("QueryReply: implausible top-k count");
+      }
+      if (static_cast<std::size_t>(end - p) < count * kTopEntrySize) {
+        throw std::runtime_error("QueryReply: truncated top-k entries");
+      }
+      reply.top.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const double rank = take_f64(p);
+        collect::FlowSummary flow;
+        flow.key = take_tuple(p);
+        flow.packets = take<std::uint64_t>(p);
+        flow.mean_ns = take_f64(p);
+        flow.p50_ns = take_f64(p);
+        flow.p99_ns = take_f64(p);
+        flow.max_ns = take_f64(p);
+        reply.top.emplace_back(rank, flow);
+      }
+      break;
+    }
+    case QueryKind::kFlowQuantile: {
+      if (end - p < 1 + 8) throw std::runtime_error("QueryReply: truncated quantile");
+      const auto present = take<std::uint8_t>(p);
+      const double value = take_f64(p);
+      if (present != 0) reply.quantile = value;
+      break;
+    }
+    case QueryKind::kStats:
+      if (end - p < 8 * 8) throw std::runtime_error("QueryReply: truncated stats");
+      reply.stats.records_ingested = take<std::uint64_t>(p);
+      reply.stats.estimates_ingested = take<std::uint64_t>(p);
+      reply.stats.flows = take<std::uint64_t>(p);
+      reply.stats.epochs = take<std::uint64_t>(p);
+      reply.stats.frames_received = take<std::uint64_t>(p);
+      reply.stats.batches_received = take<std::uint64_t>(p);
+      reply.stats.queries_answered = take<std::uint64_t>(p);
+      reply.stats.protocol_errors = take<std::uint64_t>(p);
+      break;
+  }
+  if (p != end) throw std::runtime_error("QueryReply: trailing bytes");
+  return reply;
+}
+
+}  // namespace rlir::transport

@@ -1,0 +1,79 @@
+// Payload encodings for the transport tier's query plane: what travels in
+// kQuery / kQueryReply frames between a CollectorClient and a
+// CollectorAgent. Record batches need no definitions here — a kRecordBatch
+// payload is just back-to-back collect::EstimateRecord batches.
+//
+// Same wire conventions as everything else (little-endian, field-by-field,
+// reject-don't-guess); the sketch segments reuse the estimate-record
+// helpers so a sketch has exactly one byte layout in the whole system.
+//
+//   query:  u8 kind | u32 k | f64 q | 5-tuple (13 bytes)
+//   reply:  u8 kind | kind-specific body:
+//     kFleet        -> sketch segment
+//     kTopK         -> u32 count | count x (f64 rank | 5-tuple | u64 packets
+//                      | f64 mean | f64 p50 | f64 p99 | f64 max)
+//     kFlowQuantile -> u8 present | f64 value
+//     kStats        -> 8 x u64 (see AgentStats)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "collect/sharded_collector.h"
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+
+namespace rlir::transport {
+
+enum class QueryKind : std::uint8_t {
+  /// Fleet-wide latency distribution (the collector's fleet() sketch).
+  kFleet = 1,
+  /// Top-k worst flows at quantile q, with ranking values so a higher tier
+  /// can merge answers from several agents.
+  kTopK = 2,
+  /// One flow's latency quantile (absent if the flow is unseen).
+  kFlowQuantile = 3,
+  /// Agent/collector counters (liveness + conservation checks).
+  kStats = 4,
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kFleet;
+  /// kTopK: how many flows.
+  std::uint32_t k = 0;
+  /// kTopK / kFlowQuantile: the quantile.
+  double q = 0.99;
+  /// kFlowQuantile: the flow.
+  net::FiveTuple key;
+};
+
+/// The agent-side counters a kStats reply carries.
+struct AgentStats {
+  std::uint64_t records_ingested = 0;
+  std::uint64_t estimates_ingested = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+struct QueryReply {
+  QueryKind kind = QueryKind::kFleet;
+  common::LatencySketch fleet;                      // kFleet
+  std::vector<collect::RankedFlowSummary> top;      // kTopK, worst first
+  std::optional<double> quantile;                   // kFlowQuantile
+  AgentStats stats;                                 // kStats
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query(const Query& query);
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Query decode_query(const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(const QueryReply& reply);
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] QueryReply decode_reply(const std::uint8_t* data, std::size_t size);
+
+}  // namespace rlir::transport

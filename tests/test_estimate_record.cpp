@@ -185,5 +185,47 @@ TEST(EstimateRecordTest, MergedDecodedSketchMatchesOriginal) {
   EXPECT_EQ(decoded[0].sketch.count(), direct.count());
 }
 
+TEST(EstimateRecordTest, PrefixDecodeReportsBytesConsumed) {
+  const auto batch = make_batch(4);
+  const auto bytes = encode_records(batch);
+  const auto decoded = decode_records_prefix(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  ASSERT_EQ(decoded.records.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_equal(decoded.records[i], batch[i]);
+}
+
+TEST(EstimateRecordTest, PrefixDecodeWalksBackToBackBatches) {
+  // The streaming shape the transport tier ships: several batches
+  // concatenated in one buffer, consumed without re-scanning.
+  const std::vector<std::vector<EstimateRecord>> batches = {make_batch(3), make_batch(1),
+                                                            make_batch(5)};
+  std::vector<std::uint8_t> wire;
+  for (const auto& b : batches) {
+    const auto bytes = encode_records(b);
+    wire.insert(wire.end(), bytes.begin(), bytes.end());
+  }
+
+  std::size_t offset = 0;
+  std::size_t batch_index = 0;
+  while (offset < wire.size()) {
+    const auto decoded = decode_records_prefix(wire.data() + offset, wire.size() - offset);
+    ASSERT_LT(batch_index, batches.size());
+    ASSERT_EQ(decoded.records.size(), batches[batch_index].size());
+    for (std::size_t i = 0; i < decoded.records.size(); ++i) {
+      expect_equal(decoded.records[i], batches[batch_index][i]);
+    }
+    offset += decoded.bytes_consumed;
+    ++batch_index;
+  }
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(batch_index, batches.size());
+}
+
+TEST(EstimateRecordTest, PrefixDecodeStillRejectsTruncation) {
+  const auto bytes = encode_records(make_batch(2));
+  EXPECT_THROW(decode_records_prefix(bytes.data(), bytes.size() - 1), std::runtime_error);
+  EXPECT_THROW(decode_records_prefix(bytes.data(), 3), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace rlir::collect

@@ -1,0 +1,316 @@
+// The transport tier's acceptance bar: exporter -> CollectorClient ->
+// byte stream -> CollectorAgent -> ConcurrentShardedCollector must produce
+// bin-for-bin identical collector state (and identical top-k / quantile
+// answers) to the in-process FleetCollector path on the same FatTreeSim
+// workload — under the loopback backend and over a real Unix socket.
+//
+// This is the property that makes shard-per-process deployment safe: moving
+// collection across a process boundary changes WHERE merging happens, never
+// WHAT the answers are.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "collect/epoch_scheduler.h"
+#include "collect/fleet.h"
+#include "rli/sender.h"
+#include "rlir/demux.h"
+#include "rlir/sender_agent.h"
+#include "timebase/clock.h"
+#include "topo/fattree_sim.h"
+#include "trace/synthetic.h"
+#include "transport/agent.h"
+#include "transport/client.h"
+#include "transport/socket.h"
+
+namespace rlir {
+namespace {
+
+using timebase::Duration;
+
+constexpr int kK = 4;
+constexpr std::size_t kShards = 4;
+
+/// Runs the standard fleet workload (2 source ToRs -> 1 destination ToR,
+/// core + destination vantages, scheduler-driven epochs). Batches go to the
+/// fleet's in-process collector, or to `sink` when given; `between_steps`
+/// lets the transport runs drive an agent inline with the simulation.
+template <typename BetweenSteps>
+collect::ShardedCollector run_workload(collect::EpochScheduler::BatchSink sink,
+                                       BetweenSteps between_steps) {
+  topo::FatTree topo(kK);
+  topo::Crc32EcmpHasher hasher;
+  timebase::PerfectClock clock;
+  topo::FatTreeSim sim(&topo, topo::FatTreeSimConfig{}, &hasher);
+
+  const auto src_a = topo.tor(0, 0);
+  const auto src_b = topo.tor(0, 1);
+  const auto dst = topo.tor(3, 0);
+  const auto cores = topo.cores();
+  sim.add_extra_delay(topo.core(1), Duration::microseconds(40));
+
+  rli::SenderConfig s1_cfg;
+  s1_cfg.id = 1;
+  s1_cfg.static_gap = 50;
+  rlir::TorSenderAgent s1(s1_cfg, &clock, cores);
+  sim.add_agent(src_a, &s1);
+  rli::SenderConfig s2_cfg = s1_cfg;
+  s2_cfg.id = 2;
+  rlir::TorSenderAgent s2(s2_cfg, &clock, cores);
+  sim.add_agent(src_b, &s2);
+
+  rlir::PrefixDemux up_demux;
+  up_demux.add_origin(topo.host_prefix(src_a), 1);
+  up_demux.add_origin(topo.host_prefix(src_b), 2);
+
+  rlir::ReverseEcmpDemux down_demux(&topo, &hasher, dst);
+  std::vector<std::unique_ptr<rlir::CoreSenderAgent>> core_senders;
+  for (int c = 0; c < topo.core_count(); ++c) {
+    rli::SenderConfig cfg;
+    cfg.id = static_cast<net::SenderId>(10 + c);
+    cfg.static_gap = 50;
+    core_senders.push_back(std::make_unique<rlir::CoreSenderAgent>(
+        cfg, &clock, std::vector<topo::NodeId>{dst}));
+    sim.add_agent(topo.core(c), core_senders.back().get());
+    down_demux.set_sender_at_core(c, cfg.id);
+  }
+
+  collect::FleetConfig fleet_cfg;
+  fleet_cfg.collector.shard_count = kShards;
+  collect::FleetCollector fleet(fleet_cfg, &clock);
+  if (sink) fleet.set_batch_sink(std::move(sink));
+  for (const auto& core : cores) fleet.deploy(sim, core, &up_demux);
+  fleet.deploy(sim, dst, &down_demux);
+
+  for (const auto src : {src_a, src_b}) {
+    trace::SyntheticConfig cfg;
+    cfg.duration = Duration::milliseconds(20);
+    cfg.offered_bps = 1.0e9;
+    cfg.seed = src == src_a ? 61 : 62;
+    cfg.src_pool = topo.host_prefix(src);
+    cfg.dst_pool = topo.host_prefix(dst);
+    cfg.first_seq = cfg.seed * 100'000'000ULL;
+    for (const auto& pkt : trace::SyntheticTraceGenerator(cfg).generate_all()) {
+      sim.inject_from_host(pkt);
+    }
+  }
+
+  collect::EpochSchedulerConfig sched_cfg;
+  sched_cfg.period = Duration::milliseconds(5);
+  sched_cfg.max_flow_idle = Duration::milliseconds(2);
+  collect::EpochScheduler scheduler(sched_cfg);
+  fleet.attach_scheduler(scheduler);
+
+  const Duration step = Duration::milliseconds(1);
+  timebase::TimePoint t = timebase::TimePoint::zero();
+  while (sim.events_pending()) {
+    t += step;
+    sim.run_until(t);
+    scheduler.advance_to(t);
+    between_steps();
+  }
+  scheduler.advance_to(sim.now() + sched_cfg.period);
+  between_steps();
+
+  return fleet.collector();  // empty for the transport runs (sink diverted)
+}
+
+/// The in-process ground truth every transport run is compared against.
+collect::ShardedCollector baseline_state() {
+  return run_workload(collect::EpochScheduler::BatchSink{}, [] {});
+}
+
+/// Bin-for-bin equality of two collectors' entire observable state.
+void expect_identical(collect::ShardedCollector& got, collect::ShardedCollector& want) {
+  ASSERT_GT(want.records_ingested(), 0u);
+  EXPECT_EQ(got.records_ingested(), want.records_ingested());
+  EXPECT_EQ(got.estimates_ingested(), want.estimates_ingested());
+  EXPECT_EQ(got.flow_count(), want.flow_count());
+  EXPECT_EQ(got.epochs_seen(), want.epochs_seen());
+
+  // Fleet-wide and per-vantage distributions, exact.
+  EXPECT_EQ(got.fleet().bins(), want.fleet().bins());
+  EXPECT_EQ(got.fleet().count(), want.fleet().count());
+  ASSERT_EQ(got.links(), want.links());
+  for (const auto link : want.links()) {
+    const auto got_dist = got.link_distribution(link);
+    const auto want_dist = want.link_distribution(link);
+    ASSERT_TRUE(got_dist.has_value());
+    EXPECT_EQ(got_dist->bins(), want_dist->bins()) << "link " << link;
+  }
+
+  // Every flow's merged sketch, bin for bin (top_k with k = all flows
+  // enumerates them deterministically).
+  const auto all = want.top_k_flows(want.flow_count(), 0.99);
+  ASSERT_EQ(all.size(), want.flow_count());
+  for (const auto& flow : all) {
+    const auto* got_sketch = got.flow(flow.key);
+    const auto* want_sketch = want.flow(flow.key);
+    ASSERT_NE(got_sketch, nullptr) << flow.key.to_string();
+    EXPECT_EQ(got_sketch->bins(), want_sketch->bins()) << flow.key.to_string();
+    EXPECT_EQ(got_sketch->count(), want_sketch->count()) << flow.key.to_string();
+    EXPECT_EQ(got_sketch->sum(), want_sketch->sum()) << flow.key.to_string();
+  }
+
+  // And the ranked answers a higher tier would consume.
+  const auto got_top = got.top_k_flows(10, 0.99);
+  const auto want_top = want.top_k_flows(10, 0.99);
+  ASSERT_EQ(got_top.size(), want_top.size());
+  for (std::size_t i = 0; i < want_top.size(); ++i) {
+    EXPECT_EQ(got_top[i].key, want_top[i].key) << "rank " << i;
+    EXPECT_EQ(got_top[i].p99_ns, want_top[i].p99_ns) << "rank " << i;
+  }
+}
+
+TEST(TransportE2E, LoopbackMatchesInProcessBinForBin) {
+  auto want = baseline_state();
+
+  transport::CollectorAgentConfig agent_cfg;
+  agent_cfg.collector.shard_count = kShards;
+  transport::CollectorAgent agent(agent_cfg);
+  transport::CollectorClientConfig client_cfg;
+  client_cfg.coalesce_bytes = 16u << 10;  // several seals per run: exercises splitting
+  transport::CollectorClient client(client_cfg, [&agent]() {
+    auto [client_end, agent_end] = transport::make_loopback();
+    agent.add_connection(std::move(agent_end));
+    return std::move(client_end);
+  });
+
+  run_workload(client.make_sink(), [&] {
+    client.pump();
+    agent.poll();
+  });
+  for (int i = 0; i < 100 && !client.drain(8); ++i) agent.poll();
+  agent.poll();
+
+  EXPECT_EQ(client.stats().records_shed, 0u);
+  EXPECT_EQ(agent.protocol_errors(), 0u);
+  auto got = agent.collector().snapshot();
+  expect_identical(got, want);
+}
+
+TEST(TransportE2E, UnixSocketMatchesInProcessBinForBin) {
+  const std::string path =
+      testing::TempDir() + "rlir_e2e_" + std::to_string(::getpid()) + ".sock";
+  std::unique_ptr<transport::SocketListener> listener;
+  try {
+    listener = std::make_unique<transport::SocketListener>(
+        transport::SocketAddress::unix_path(path));
+  } catch (const std::system_error&) {
+    GTEST_SKIP() << "sandbox forbids unix sockets";
+  }
+  const auto address = listener->address();
+
+  auto want = baseline_state();
+
+  // The deployment shape: the agent owns its thread (as it would own its
+  // process), the workload streams over a real kernel socket.
+  transport::CollectorAgentConfig agent_cfg;
+  agent_cfg.collector.shard_count = kShards;
+  transport::CollectorAgent agent(agent_cfg);
+  agent.set_listener(std::move(listener));
+  std::atomic<bool> stop{false};
+  std::thread agent_thread(
+      [&] { agent.run(stop, timebase::Duration::microseconds(100)); });
+
+  {
+    transport::CollectorClient client(transport::CollectorClientConfig{},
+                                      [address]() { return transport::connect_to(address); });
+    ASSERT_TRUE(client.connected());
+    run_workload(client.make_sink(), [&client] { client.pump(); });
+    ASSERT_TRUE(client.drain(100000)) << "socket never drained";
+
+    // Conservation check over the wire before comparing state: the stats
+    // query round-trips on the same connection, so its reply proves every
+    // record frame before it was processed.
+    transport::Query q;
+    q.kind = transport::QueryKind::kStats;
+    const auto reply = client.query(q);
+    ASSERT_TRUE(reply.has_value()) << "stats query got no reply";
+    EXPECT_EQ(reply->stats.records_ingested, want.records_ingested());
+    EXPECT_EQ(reply->stats.protocol_errors, 0u);
+  }
+
+  stop.store(true);
+  agent_thread.join();
+
+  auto got = agent.collector().snapshot();
+  expect_identical(got, want);
+}
+
+TEST(TransportE2E, RemoteQueriesMatchLocalAnswers) {
+  // Loopback variant, exercising the query plane end to end: fleet sketch,
+  // ranked top-k, and per-flow quantiles must equal the local collector's.
+  auto want = baseline_state();
+
+  transport::CollectorAgentConfig agent_cfg;
+  agent_cfg.collector.shard_count = kShards;
+  transport::CollectorAgent agent(agent_cfg);
+  transport::CollectorClient client(transport::CollectorClientConfig{}, [&agent]() {
+    auto [client_end, agent_end] = transport::make_loopback();
+    agent.add_connection(std::move(agent_end));
+    return std::move(client_end);
+  });
+  run_workload(client.make_sink(), [&] {
+    client.pump();
+    agent.poll();
+  });
+  for (int i = 0; i < 100 && !client.drain(8); ++i) agent.poll();
+
+  const auto ask = [&](const transport::Query& q) {
+    client.send_query(q);
+    std::optional<transport::QueryReply> reply;
+    for (int i = 0; i < 1000 && !reply.has_value(); ++i) {
+      client.pump();
+      agent.poll();
+      reply = client.poll_reply();
+    }
+    return reply;
+  };
+
+  transport::Query fleet_q;
+  fleet_q.kind = transport::QueryKind::kFleet;
+  const auto fleet_reply = ask(fleet_q);
+  ASSERT_TRUE(fleet_reply.has_value());
+  EXPECT_EQ(fleet_reply->fleet.bins(), want.fleet().bins());
+  EXPECT_EQ(fleet_reply->fleet.count(), want.fleet().count());
+
+  transport::Query top_q;
+  top_q.kind = transport::QueryKind::kTopK;
+  top_q.k = 10;
+  top_q.q = 0.99;
+  const auto top_reply = ask(top_q);
+  ASSERT_TRUE(top_reply.has_value());
+  const auto want_top = want.top_k_ranked(10, 0.99);
+  ASSERT_EQ(top_reply->top.size(), want_top.size());
+  for (std::size_t i = 0; i < want_top.size(); ++i) {
+    EXPECT_EQ(top_reply->top[i].second.key, want_top[i].second.key) << "rank " << i;
+    EXPECT_EQ(top_reply->top[i].first, want_top[i].first) << "rank " << i;
+  }
+
+  // Per-flow quantile for the worst flow, plus the unseen-flow case.
+  transport::Query flow_q;
+  flow_q.kind = transport::QueryKind::kFlowQuantile;
+  flow_q.key = want_top.front().second.key;
+  flow_q.q = 0.99;
+  const auto flow_reply = ask(flow_q);
+  ASSERT_TRUE(flow_reply.has_value());
+  ASSERT_TRUE(flow_reply->quantile.has_value());
+  EXPECT_EQ(*flow_reply->quantile, *want.flow_quantile(flow_q.key, 0.99));
+
+  flow_q.key.src_port = 1;  // nobody sends from port 1 in this workload
+  flow_q.key.dst_port = 1;
+  const auto miss_reply = ask(flow_q);
+  ASSERT_TRUE(miss_reply.has_value());
+  EXPECT_FALSE(miss_reply->quantile.has_value());
+}
+
+}  // namespace
+}  // namespace rlir
