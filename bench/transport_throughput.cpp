@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "trace/synthetic.h"
 #include "transport/agent.h"
 #include "transport/client.h"
+#include "transport/partitioned_client.h"
 #include "transport/socket.h"
 
 namespace rlir {
@@ -108,7 +110,9 @@ double run_backend(const std::vector<collect::EstimateRecord>& batch, std::uint3
   // read what drain() only pushed into the kernel buffer, not just for the
   // collector lanes to quiesce (records_ingested() quiesces per call).
   const auto expected = static_cast<std::uint64_t>(batch.size()) * epochs;
-  for (int i = 0; i < 100000 && agent.collector().records_ingested() < expected; ++i) {
+  // 60s cap: on a loaded single-core box the agent thread can trail the
+  // client by tens of seconds at full batch sizes.
+  for (int i = 0; i < 600000 && agent.collector().records_ingested() < expected; ++i) {
     drive();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
@@ -120,8 +124,63 @@ double run_backend(const std::vector<collect::EstimateRecord>& batch, std::uint3
   return static_cast<double>(batch.size()) * epochs / elapsed;
 }
 
+/// Streams the batch through a PartitionedClient spraying over `n_agents`
+/// loopback agents (all polled inline, like the single-agent loopback run,
+/// so the number isolates the partitioning/fan-out cost — not thread
+/// parallelism). Emits the fleet rate plus each endpoint's records/s.
+int run_partitioned(const std::vector<collect::EstimateRecord>& batch, std::uint32_t epochs,
+                    std::size_t shards, std::size_t n_agents) {
+  std::vector<std::unique_ptr<transport::CollectorAgent>> agents;
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    transport::CollectorAgentConfig cfg;
+    cfg.collector.shard_count = shards;
+    cfg.collector.queue_capacity = 0;  // one thread: skip worker handoff
+    agents.push_back(std::make_unique<transport::CollectorAgent>(cfg));
+  }
+  const auto poll_all = [&agents] {
+    for (auto& agent : agents) agent->poll();
+  };
+
+  transport::PartitionedClient pc;
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    pc.add_endpoint([&agents, i]() {
+      auto [client_end, agent_end] = transport::make_loopback();
+      agents[i]->add_connection(std::move(agent_end));
+      return std::move(client_end);
+    });
+  }
+
+  const auto start = Clock::now();
+  std::vector<collect::EstimateRecord> stamped = batch;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    for (auto& r : stamped) r.epoch = e;
+    pc.submit(e, stamped);
+    pc.pump();
+    poll_all();
+  }
+  while (!pc.drain(64)) poll_all();
+  poll_all();
+  const double elapsed = seconds_since(start);
+
+  const auto prefix = "partitioned_" + std::to_string(n_agents) + "_agents";
+  print_metric(prefix + "_rate",
+               static_cast<double>(batch.size()) * epochs / elapsed, "records/s");
+  std::uint64_t ingested = 0;
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    ingested += agents[i]->stats().records_ingested;
+    print_metric(prefix + "_endpoint_" + std::to_string(i) + "_rate",
+                 static_cast<double>(pc.records_routed(i)) / elapsed, "records/s");
+  }
+  if (ingested != static_cast<std::uint64_t>(batch.size()) * epochs) {
+    std::fprintf(stderr, "partitioned %zu-agent run lost records\n", n_agents);
+    return 1;
+  }
+  return 0;
+}
+
 int run(std::uint64_t target_packets, std::uint32_t epochs, std::size_t shards,
-        const std::string& json_path, const std::string& socket_dir) {
+        const std::vector<std::size_t>& agent_sweep, const std::string& json_path,
+        const std::string& socket_dir) {
   const auto batch = make_batch(target_packets);
   print_metric("batch_records", static_cast<double>(batch.size()), "records");
 
@@ -148,6 +207,11 @@ int run(std::uint64_t target_packets, std::uint32_t epochs, std::size_t shards,
       std::fprintf(stderr, "loopback lost records\n");
       return 1;
     }
+  }
+
+  // --- Partitioned fleet sweep: flow-hash spray over N loopback agents.
+  for (const std::size_t n_agents : agent_sweep) {
+    if (const int rc = run_partitioned(batch, epochs, shards, n_agents); rc != 0) return rc;
   }
 
   // --- Unix socket: the deployment shape (agent thread + shard workers).
@@ -194,6 +258,7 @@ int main(int argc, char** argv) {
   std::uint64_t packets = 200'000;
   std::uint32_t epochs = 8;
   std::size_t shards = 4;
+  std::vector<std::size_t> agent_sweep = {2, 4};
   std::string json_path;
   std::string socket_dir = "/tmp";
   for (int i = 1; i < argc; ++i) {
@@ -206,6 +271,16 @@ int main(int argc, char** argv) {
       epochs = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--agents") == 0 && i + 1 < argc) {
+      // Comma-separated fleet sizes for the partitioned sweep; 0 disables.
+      agent_sweep.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const auto n = std::strtoul(p, &end, 10);
+        if (end == p) return 2;
+        if (n > 0) agent_sweep.push_back(n);
+        p = *end == ',' ? end + 1 : end;
+      }
     } else if (std::strcmp(argv[i], "--socket-dir") == 0 && i + 1 < argc) {
       socket_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -213,11 +288,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--packets N] [--epochs N] [--shards N] "
-                   "[--socket-dir DIR] [--json PATH]\n",
+                   "[--agents N[,M...]] [--socket-dir DIR] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
   if (shards == 0 || epochs == 0) return 2;
-  return rlir::run(packets, epochs, shards, json_path, socket_dir);
+  return rlir::run(packets, epochs, shards, agent_sweep, json_path, socket_dir);
 }

@@ -1,0 +1,239 @@
+// The fleet-of-agents deployment shape, end to end: the fat-tree
+// measurement workload from examples/fleet_query, but every epoch batch is
+// SPRAYED by flow hash across N collector agents (PartitionedClient), and
+// the operator's questions are answered by a QueryCoordinator that fans
+// out to every agent and merges the replies — exactly, because each flow's
+// records live on exactly one agent.
+//
+//   # against real daemons (one per terminal, or one per machine):
+//   ./collector_daemon --listen unix:/tmp/rlir0.sock
+//   ./collector_daemon --listen unix:/tmp/rlir1.sock
+//   ./fleet_coordinator --connect unix:/tmp/rlir0.sock,unix:/tmp/rlir1.sock
+//
+// Run without --connect and it spins up `--agents N` (default 4)
+// in-process agents over loopback pipes — same protocol bytes, no daemons.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/epoch_scheduler.h"
+#include "collect/fleet.h"
+#include "rli/sender.h"
+#include "rlir/demux.h"
+#include "rlir/sender_agent.h"
+#include "timebase/clock.h"
+#include "topo/fattree_sim.h"
+#include "trace/synthetic.h"
+#include "transport/agent.h"
+#include "transport/coordinator.h"
+#include "transport/partitioned_client.h"
+#include "transport/socket.h"
+
+namespace rlir {
+namespace {
+
+int run(const std::vector<std::string>& connect_texts, std::size_t n_agents) {
+  using timebase::Duration;
+
+  // --- The fleet: dialed daemons, or in-process agents on loopback pipes.
+  std::vector<std::unique_ptr<transport::CollectorAgent>> local_agents;
+  std::vector<transport::CollectorClient::StreamFactory> factories;
+  if (connect_texts.empty()) {
+    for (std::size_t i = 0; i < n_agents; ++i) {
+      local_agents.push_back(std::make_unique<transport::CollectorAgent>());
+      factories.push_back([&local_agents, i]() {
+        auto [client_end, agent_end] = transport::make_loopback();
+        local_agents[i]->add_connection(std::move(agent_end));
+        return std::move(client_end);
+      });
+    }
+    std::printf("no --connect given: %zu in-process agents over loopback pipes\n\n",
+                n_agents);
+  } else {
+    for (const auto& text : connect_texts) {
+      const auto address = transport::SocketAddress::parse(text);
+      factories.push_back([address]() { return transport::connect_to(address); });
+    }
+    n_agents = factories.size();
+  }
+  const auto poll_local = [&local_agents] {
+    for (auto& agent : local_agents) agent->poll();
+  };
+
+  transport::PartitionedClient pc;
+  for (auto& factory : factories) pc.add_endpoint(factory);
+
+  // --- The workload of examples/fleet_query: 2 source ToRs -> 2
+  // destination ToRs across a k=4 fat tree, one secretly slow core.
+  constexpr int kK = 4;
+  topo::FatTree topo(kK);
+  topo::Crc32EcmpHasher hasher;
+  timebase::PerfectClock clock;
+  topo::FatTreeSim sim(&topo, topo::FatTreeSimConfig{}, &hasher);
+
+  const std::vector sources = {topo.tor(0, 0), topo.tor(0, 1)};
+  const std::vector destinations = {topo.tor(3, 0), topo.tor(3, 1)};
+  sim.add_extra_delay(topo.core(2), Duration::microseconds(60));
+  std::printf("fault injected: +60us at %s\n", topo.core(2).name(kK).c_str());
+
+  const auto cores = topo.cores();
+  rlir::PrefixDemux up_demux;
+  std::vector<std::unique_ptr<rlir::TorSenderAgent>> tor_senders;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    rli::SenderConfig cfg;
+    cfg.id = static_cast<net::SenderId>(1 + i);
+    cfg.static_gap = 50;
+    tor_senders.push_back(std::make_unique<rlir::TorSenderAgent>(cfg, &clock, cores));
+    sim.add_agent(sources[i], tor_senders.back().get());
+    up_demux.add_origin(topo.host_prefix(sources[i]), cfg.id);
+  }
+  std::vector<std::unique_ptr<rlir::CoreSenderAgent>> core_senders;
+  std::vector<std::unique_ptr<rlir::ReverseEcmpDemux>> down_demuxes;
+  for (const auto& dst : destinations) {
+    down_demuxes.push_back(std::make_unique<rlir::ReverseEcmpDemux>(&topo, &hasher, dst));
+  }
+  for (int c = 0; c < topo.core_count(); ++c) {
+    rli::SenderConfig cfg;
+    cfg.id = static_cast<net::SenderId>(10 + c);
+    cfg.static_gap = 50;
+    core_senders.push_back(std::make_unique<rlir::CoreSenderAgent>(cfg, &clock, destinations));
+    sim.add_agent(topo.core(c), core_senders.back().get());
+    for (auto& demux : down_demuxes) demux->set_sender_at_core(c, cfg.id);
+  }
+
+  collect::FleetConfig fleet_cfg;
+  collect::FleetCollector fleet(fleet_cfg, &clock);
+  // The fleet-tier difference: batches leave the process N ways by flow hash.
+  fleet.set_batch_sink(pc.make_sink());
+  for (const auto& core : cores) fleet.deploy(sim, core, &up_demux);
+  for (std::size_t i = 0; i < destinations.size(); ++i) {
+    fleet.deploy(sim, destinations[i], down_demuxes[i].get());
+  }
+
+  std::uint64_t seed = 100;
+  for (const auto& src : sources) {
+    for (const auto& dst : destinations) {
+      trace::SyntheticConfig cfg;
+      cfg.duration = Duration::milliseconds(40);
+      cfg.offered_bps = 0.8e9;
+      cfg.seed = seed;
+      cfg.src_pool = topo.host_prefix(src);
+      cfg.dst_pool = topo.host_prefix(dst);
+      cfg.first_seq = seed * 10'000'000ULL;
+      for (const auto& pkt : trace::SyntheticTraceGenerator(cfg).generate_all()) {
+        sim.inject_from_host(pkt);
+      }
+      seed += 100;
+    }
+  }
+
+  collect::EpochSchedulerConfig sched_cfg;
+  sched_cfg.period = Duration::milliseconds(10);
+  sched_cfg.max_flow_idle = Duration::milliseconds(4);
+  collect::EpochScheduler scheduler(sched_cfg);
+  fleet.attach_scheduler(scheduler);
+
+  const Duration step = Duration::milliseconds(1);
+  timebase::TimePoint t = timebase::TimePoint::zero();
+  while (sim.events_pending()) {
+    t += step;
+    sim.run_until(t);
+    scheduler.advance_to(t);
+    pc.pump();
+    poll_local();
+  }
+  scheduler.advance_to(sim.now() + sched_cfg.period);  // final drain
+  for (int i = 0; i < 10000 && !pc.drain(16); ++i) poll_local();
+  poll_local();
+
+  std::printf("sprayed %llu records across %zu agents (%zu healthy):\n",
+              static_cast<unsigned long long>(pc.stats().records_submitted), n_agents,
+              pc.healthy_count());
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    std::printf("  agent %zu: %10llu records routed  (%s)\n", i,
+                static_cast<unsigned long long>(pc.records_routed(i)),
+                pc.endpoint_healthy(i) ? "healthy" : "DOWN");
+  }
+
+  // --- Fleet queries: the coordinator fans out and merges.
+  transport::QueryCoordinator coord;
+  for (auto& factory : factories) coord.add_agent(std::move(factory));
+  if (!local_agents.empty()) coord.set_drive(poll_local);
+  if (coord.connected_count() == 0) {
+    std::fprintf(stderr, "no agent reachable — are the daemons running?\n");
+    return 1;
+  }
+
+  const auto dist = coord.fleet();
+  std::printf("\nfleet-wide latency (merged from %zu agents): "
+              "p50 %8.1fus  p90 %8.1fus  p99 %8.1fus  max %8.1fus  (%llu estimates)\n",
+              coord.connected_count(), dist.quantile(0.5) / 1e3, dist.quantile(0.9) / 1e3,
+              dist.quantile(0.99) / 1e3, dist.max() / 1e3,
+              static_cast<unsigned long long>(dist.count()));
+
+  std::printf("\nfleet top-5 worst flows by p99:\n");
+  for (const auto& [rank, flow] : coord.top_k_ranked(5, 0.99)) {
+    std::printf("  %-44s %6llu pkts  p50 %8.1fus  p99 %8.1fus\n",
+                flow.key.to_string().c_str(), static_cast<unsigned long long>(flow.packets),
+                flow.p50_ns / 1e3, flow.p99_ns / 1e3);
+  }
+
+  std::printf("\nper-agent stats:\n");
+  const auto per_agent = coord.per_agent_stats();
+  for (std::size_t i = 0; i < per_agent.size(); ++i) {
+    if (!per_agent[i].has_value()) {
+      std::printf("  agent %zu: UNREACHABLE\n", i);
+      continue;
+    }
+    std::printf("  agent %zu: %8llu records, %8llu estimates, %5llu flows, %3llu epochs\n", i,
+                static_cast<unsigned long long>(per_agent[i]->records_ingested),
+                static_cast<unsigned long long>(per_agent[i]->estimates_ingested),
+                static_cast<unsigned long long>(per_agent[i]->flows),
+                static_cast<unsigned long long>(per_agent[i]->epochs));
+  }
+
+  const auto totals = coord.fleet_stats();
+  const auto delivered = pc.stats().records_submitted - pc.records_shed();
+  const bool conserved = totals.records_ingested == delivered;
+  std::printf("\nconservation: sprayed %llu records, fleet ingested %llu -> %s\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(totals.records_ingested),
+              conserved ? "exact" : "MISMATCH");
+  return conserved ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rlir
+
+int main(int argc, char** argv) {
+  std::vector<std::string> connect_texts;
+  std::size_t n_agents = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        const char* comma = std::strchr(p, ',');
+        connect_texts.emplace_back(p, comma != nullptr ? comma - p : std::strlen(p));
+        p = comma != nullptr ? comma + 1 : p + connect_texts.back().size();
+      }
+    } else if (std::strcmp(argv[i], "--agents") == 0 && i + 1 < argc) {
+      n_agents = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect ADDR[,ADDR...]] [--agents N]\n"
+                   "  ADDR = tcp:HOST:PORT | unix:PATH\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (n_agents == 0) return 2;
+  try {
+    return rlir::run(connect_texts, n_agents);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet_coordinator: %s\n", e.what());
+    return 1;
+  }
+}

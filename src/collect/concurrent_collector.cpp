@@ -1,6 +1,7 @@
 #include "collect/concurrent_collector.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace rlir::collect {
@@ -168,6 +169,16 @@ std::optional<FlowSummary> ConcurrentShardedCollector::flow_summary(const net::F
   return lane.state.flow_summary(key);
 }
 
+std::optional<common::LatencySketch> ConcurrentShardedCollector::flow_sketch(
+    const net::FiveTuple& key) {
+  quiesce();
+  Lane& lane = lane_for(key);
+  const std::lock_guard<std::mutex> lock(lane.state_mu);
+  const auto* sketch = lane.state.flow(key);
+  if (sketch == nullptr) return std::nullopt;
+  return *sketch;
+}
+
 std::optional<common::LatencySketch> ConcurrentShardedCollector::link_distribution(LinkId link) {
   quiesce();
   common::LatencySketch merged(config_.sketch);
@@ -194,6 +205,21 @@ std::vector<LinkId> ConcurrentShardedCollector::links() {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
+}
+
+std::vector<std::pair<LinkId, common::LatencySketch>>
+ConcurrentShardedCollector::link_distributions() {
+  quiesce();
+  std::map<LinkId, common::LatencySketch> merged;
+  for (auto& lane : lanes_) {
+    const std::lock_guard<std::mutex> lock(lane->state_mu);
+    for (const auto link : lane->state.links()) {
+      const auto dist = lane->state.link_distribution(link);
+      auto [it, inserted] = merged.try_emplace(link, config_.sketch);
+      it->second.merge(*dist);
+    }
+  }
+  return {merged.begin(), merged.end()};
 }
 
 common::LatencySketch ConcurrentShardedCollector::fleet() {

@@ -91,8 +91,14 @@ class ConcurrentShardedCollector {
 
   [[nodiscard]] std::optional<double> flow_quantile(const net::FiveTuple& key, double q);
   [[nodiscard]] std::optional<FlowSummary> flow_summary(const net::FiveTuple& key);
+  /// One flow's merged sketch by value (the transport tier ships it to a
+  /// coordinator, which merges split flows bin-wise); nullopt if unseen.
+  [[nodiscard]] std::optional<common::LatencySketch> flow_sketch(const net::FiveTuple& key);
   [[nodiscard]] std::optional<common::LatencySketch> link_distribution(LinkId link);
   [[nodiscard]] std::vector<LinkId> links();
+  /// Every link with data and its merged distribution, ascending by link —
+  /// one quiesce + one pass instead of links() + a query per link.
+  [[nodiscard]] std::vector<std::pair<LinkId, common::LatencySketch>> link_distributions();
   [[nodiscard]] common::LatencySketch fleet();
   /// Exact fleet-wide top-k: per-lane O(k) answers (ingest-maintained rank
   /// indexes) merged and re-truncated — the global top-k is always contained

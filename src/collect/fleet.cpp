@@ -41,8 +41,8 @@ topo::NodeId FleetCollector::node(LinkId link) const { return vantages_.at(link)
 
 void FleetCollector::deliver(std::uint32_t epoch, const std::vector<EstimateRecord>& batch) {
   collected_any_ = true;
-  if (remote_sink_) {
-    remote_sink_(epoch, batch);
+  if (!remote_sinks_.empty()) {
+    for (const auto& sink : remote_sinks_) sink(epoch, batch);
     return;
   }
   // Round-trip through the wire format: what a networked vantage would
@@ -62,12 +62,24 @@ std::size_t FleetCollector::collect_epoch(std::uint32_t epoch) {
   return collected;
 }
 
+void FleetCollector::add_batch_sink(EpochScheduler::BatchSink sink) {
+  if (collected_any_) {
+    throw std::logic_error(
+        "FleetCollector::add_batch_sink: collection already started in-process");
+  }
+  if (!sink) {
+    throw std::invalid_argument("FleetCollector::add_batch_sink: null sink");
+  }
+  remote_sinks_.push_back(std::move(sink));
+}
+
 void FleetCollector::set_batch_sink(EpochScheduler::BatchSink sink) {
   if (collected_any_) {
     throw std::logic_error(
         "FleetCollector::set_batch_sink: collection already started in-process");
   }
-  remote_sink_ = std::move(sink);
+  remote_sinks_.clear();
+  if (sink) remote_sinks_.push_back(std::move(sink));
 }
 
 void FleetCollector::attach_scheduler(EpochScheduler& scheduler) {

@@ -52,13 +52,19 @@ class FleetCollector {
   /// number of records collected.
   std::size_t collect_epoch(std::uint32_t epoch);
 
-  /// Redirects collection away from the in-process collector: when set,
-  /// collect_epoch and the scheduler sink hand every (epoch, batch) to
-  /// `sink` instead of ingesting locally — the hookup for shipping batches
-  /// to a remote CollectorAgent (transport tier) or any other consumer.
-  /// The local collector() then stays empty. Set before the first
+  /// Redirects collection away from the in-process collector: when any sink
+  /// is registered, collect_epoch and the scheduler sink hand every
+  /// (epoch, batch) to EVERY registered sink instead of ingesting locally —
+  /// the hookup for shipping batches to a remote CollectorAgent or a
+  /// PartitionedClient (transport tier), or any other consumer. Multiple
+  /// sinks each see the full batch stream (mirroring: e.g. a partitioned
+  /// fleet AND a single-collector oracle fed identically in one run). The
+  /// local collector() then stays empty. Register before the first
   /// collection; throws std::logic_error afterwards (split state would make
   /// neither side answer fleet queries correctly).
+  void add_batch_sink(EpochScheduler::BatchSink sink);
+  /// add_batch_sink, replacing any sinks registered so far (the single-sink
+  /// hookup the transport tier's one-agent deployments use).
   void set_batch_sink(EpochScheduler::BatchSink sink);
 
   /// Hands epoch driving to `scheduler`: registers an epoch hook that
@@ -86,8 +92,8 @@ class FleetCollector {
     std::unique_ptr<EstimateExporter> exporter;
   };
 
-  /// Where a drained batch goes: the remote sink when set, otherwise the
-  /// wire round-trip into the local collector.
+  /// Where a drained batch goes: every remote sink when any is set,
+  /// otherwise the wire round-trip into the local collector.
   void deliver(std::uint32_t epoch, const std::vector<EstimateRecord>& batch);
 
   FleetConfig config_;
@@ -96,7 +102,7 @@ class FleetCollector {
   ShardedCollector collector_;
   /// Set by attach_scheduler; deploy() registers later exporters with it.
   EpochScheduler* scheduler_ = nullptr;
-  EpochScheduler::BatchSink remote_sink_;
+  std::vector<EpochScheduler::BatchSink> remote_sinks_;
   /// Guards set_batch_sink-after-collection (see header comment).
   bool collected_any_ = false;
 };

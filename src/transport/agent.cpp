@@ -123,6 +123,12 @@ void CollectorAgent::handle_frame(Connection& conn, const Frame& frame) {
         case QueryKind::kStats:
           reply.stats = stats();
           break;
+        case QueryKind::kFlowSketch:
+          reply.flow_sketch = collector_.flow_sketch(query.key);
+          break;
+        case QueryKind::kLinks:
+          reply.links = collector_.link_distributions();
+          break;
       }
       const auto bytes = encode_frame(FrameType::kQueryReply, encode_reply(reply));
       if (conn.outbox.size() - conn.outbox_offset + bytes.size() > config_.max_outbox_bytes) {

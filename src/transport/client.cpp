@@ -83,9 +83,26 @@ bool CollectorClient::ensure_connected() {
     stream_.reset();
     front_offset_ = 0;
     // A reply can't arrive on a new connection for a query sent on the old
-    // one; surface the timeout instead of waiting forever.
+    // one; surface the timeout instead of waiting forever. Queued query
+    // frames die with the connection too: resending one would produce a
+    // reply the caller no longer waits for, which would then be mis-paired
+    // with the next query sent on the new connection.
     reply_decoder_ = FrameDecoder();
-    query_outstanding_ = false;
+    if (query_outstanding_) {
+      // One query can be outstanding at a time, so at most one query frame
+      // is in the queue (and only while its query is outstanding) — this is
+      // exactly one loss however far the frame got.
+      query_outstanding_ = false;
+      stats_.queries_lost += 1;
+    }
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (queue_[i].is_batch) {
+        ++i;
+        continue;
+      }
+      buffered_bytes_ -= queue_[i].bytes.size();
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
   }
   if (backoff_countdown_ > 0) {
     --backoff_countdown_;
@@ -130,6 +147,12 @@ std::size_t CollectorClient::pump() {
   }
   stats_.bytes_sent += written;
   return written;
+}
+
+std::size_t CollectorClient::queued_records() const {
+  std::size_t records = coalescing_records_;
+  for (const auto& frame : queue_) records += frame.records;
+  return records;
 }
 
 bool CollectorClient::drain(std::size_t max_pumps) {
@@ -190,7 +213,27 @@ std::optional<QueryReply> CollectorClient::query(const Query& q, std::size_t max
     if (!query_outstanding_) return std::nullopt;  // connection died, query lost
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
+  abandon_query();  // else the next send_query would refuse forever
   return std::nullopt;
+}
+
+void CollectorClient::abandon_query() {
+  if (!query_outstanding_) return;
+  // The reply may still be in flight; it must die with the connection (the
+  // next pump re-dials). A queued, unsent query frame dies here too.
+  if (stream_ != nullptr) stream_->close();
+  for (std::size_t i = 0; i < queue_.size();) {
+    if (queue_[i].is_batch) {
+      ++i;
+      continue;
+    }
+    if (i == 0) front_offset_ = 0;
+    buffered_bytes_ -= queue_[i].bytes.size();
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  reply_decoder_ = FrameDecoder();
+  query_outstanding_ = false;
+  stats_.queries_lost += 1;
 }
 
 collect::EpochScheduler::BatchSink CollectorClient::make_sink() {

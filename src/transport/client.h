@@ -103,9 +103,16 @@ class CollectorClient {
 
   /// Convenience loop for live (socket) deployments: send, then pump +
   /// poll_reply up to `max_pumps` times, sleeping ~100us between rounds.
-  /// nullopt = no reply in time. For single-threaded loopback setups drive
-  /// the agent yourself and use send_query/poll_reply directly.
+  /// nullopt = no reply in time (the query is abandoned — see below). For
+  /// single-threaded loopback setups drive the agent yourself and use
+  /// send_query/poll_reply directly.
   [[nodiscard]] std::optional<QueryReply> query(const Query& query, std::size_t max_pumps = 20000);
+
+  /// Gives up on the outstanding query (timeout policy lives with the
+  /// caller). Drops the connection — a reply still in flight must die with
+  /// it, or it would be mis-paired with the next query — and counts the
+  /// query in stats().queries_lost. No-op when none is outstanding.
+  void abandon_query();
 
   // --- Introspection -------------------------------------------------------
 
@@ -115,10 +122,18 @@ class CollectorClient {
   [[nodiscard]] collect::EpochScheduler::BatchSink make_sink();
 
   [[nodiscard]] bool connected() const { return stream_ != nullptr && !stream_->closed(); }
+  /// True while a sent query awaits its reply. Cleared by the reply — or by
+  /// a connection loss, which is how a caller driving send_query/poll_reply
+  /// by hand learns the query died (stats().queries_lost counts it).
+  [[nodiscard]] bool query_outstanding() const { return query_outstanding_; }
   /// Queued-but-unsent frame bytes (excludes the coalescing buffer).
   [[nodiscard]] std::size_t buffered_bytes() const { return buffered_bytes_; }
   /// Records sitting in the coalescing buffer (not yet framed).
   [[nodiscard]] std::size_t coalescing_records() const { return coalescing_records_; }
+  /// Records not yet on the wire: coalescing buffer + queued batch frames.
+  /// With at-most-once delivery this is the "inflight-lost" term of a
+  /// conservation check against an endpoint that never comes back.
+  [[nodiscard]] std::size_t queued_records() const;
 
   struct Stats {
     std::uint64_t batches_submitted = 0;
@@ -134,6 +149,10 @@ class CollectorClient {
     std::uint64_t connect_failures = 0;
     std::uint64_t queries_sent = 0;
     std::uint64_t replies_received = 0;
+    /// Queries whose connection died before the reply arrived (the queued
+    /// query frame is discarded — a reply to a resent query on a NEW
+    /// connection would be mis-paired with the next query sent there).
+    std::uint64_t queries_lost = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

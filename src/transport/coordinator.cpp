@@ -1,0 +1,240 @@
+#include "transport/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace rlir::transport {
+
+// --- Merge helpers ---------------------------------------------------------
+
+common::LatencySketch merge_fleet_sketches(const std::vector<common::LatencySketch>& parts) {
+  if (parts.empty()) return common::LatencySketch{};
+  common::LatencySketch merged(parts.front().config());
+  for (const auto& part : parts) merged.merge(part);
+  return merged;
+}
+
+collect::FlowSummary summarize_flow(const net::FiveTuple& key,
+                                    const common::LatencySketch& sketch) {
+  collect::FlowSummary s;
+  s.key = key;
+  s.packets = sketch.count();
+  s.mean_ns = sketch.mean();
+  s.p50_ns = sketch.quantile(0.5);
+  s.p99_ns = sketch.quantile(0.99);
+  s.max_ns = sketch.max();
+  return s;
+}
+
+std::vector<collect::RankedFlowSummary> merge_ranked_top_k(
+    const std::vector<std::vector<collect::RankedFlowSummary>>& parts, std::size_t k,
+    const FlowResolver& resolve) {
+  // k is small and each part is at most k entries: gather-and-sort beats a
+  // cursor heap in clarity at the same practical cost. Duplicates (one key
+  // in several parts — partitions overlapped) are re-resolved exactly from
+  // the merged flow sketch when a resolver is given.
+  std::unordered_map<net::FiveTuple, collect::RankedFlowSummary> by_key;
+  for (const auto& part : parts) {
+    for (const auto& entry : part) {
+      auto [it, inserted] = by_key.try_emplace(entry.second.key, entry);
+      if (inserted) continue;
+      if (resolve) {
+        if (auto resolved = resolve(entry.second.key)) it->second = *resolved;
+      } else if (collect::ranked_worse_first(entry, it->second)) {
+        // No resolver: deterministic but approximate — keep the worse rank.
+        it->second = entry;
+      }
+    }
+  }
+  std::vector<collect::RankedFlowSummary> merged;
+  merged.reserve(by_key.size());
+  for (auto& [key, entry] : by_key) merged.push_back(std::move(entry));
+  std::sort(merged.begin(), merged.end(), collect::ranked_worse_first);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+AgentStats merge_agent_stats(const std::vector<AgentStats>& parts) {
+  AgentStats total;
+  for (const auto& part : parts) {
+    total.records_ingested = saturating_add(total.records_ingested, part.records_ingested);
+    total.estimates_ingested =
+        saturating_add(total.estimates_ingested, part.estimates_ingested);
+    total.flows = saturating_add(total.flows, part.flows);
+    total.epochs = saturating_add(total.epochs, part.epochs);
+    total.frames_received = saturating_add(total.frames_received, part.frames_received);
+    total.batches_received = saturating_add(total.batches_received, part.batches_received);
+    total.queries_answered = saturating_add(total.queries_answered, part.queries_answered);
+    total.protocol_errors = saturating_add(total.protocol_errors, part.protocol_errors);
+  }
+  return total;
+}
+
+// --- The coordinator -------------------------------------------------------
+
+QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config) : config_(config) {
+  if (config_.reply_rounds == 0) {
+    throw std::invalid_argument("QueryCoordinator: zero reply_rounds");
+  }
+}
+
+std::size_t QueryCoordinator::add_agent(StreamFactory factory) {
+  clients_.push_back(std::make_unique<CollectorClient>(config_.client, std::move(factory)));
+  return clients_.size() - 1;
+}
+
+void QueryCoordinator::set_drive(std::function<void()> drive) { drive_ = std::move(drive); }
+
+std::size_t QueryCoordinator::connected_count() const {
+  std::size_t n = 0;
+  for (const auto& client : clients_) n += client->connected() ? 1 : 0;
+  return n;
+}
+
+CollectorClient& QueryCoordinator::client(std::size_t agent) { return *clients_.at(agent); }
+
+std::optional<QueryReply> QueryCoordinator::ask(std::size_t agent, const Query& query) {
+  CollectorClient& c = *clients_[agent];
+  stats_.queries_sent += 1;
+  c.send_query(query);
+  for (std::size_t round = 0; round < config_.reply_rounds; ++round) {
+    c.pump();
+    if (drive_) drive_();
+    std::optional<QueryReply> reply;
+    try {
+      reply = c.poll_reply();
+    } catch (const std::runtime_error&) {
+      // Corrupt/unexpected reply bytes: poll_reply already dropped the
+      // connection (reconnect machinery takes over); this fan-out misses
+      // the agent. Abandon so the next fan-out can send a fresh query.
+      c.abandon_query();
+      stats_.agent_failures += 1;
+      return std::nullopt;
+    }
+    if (reply.has_value()) {
+      stats_.replies_merged += 1;
+      return reply;
+    }
+    if (!c.query_outstanding()) {
+      // The connection died under the query; the client discarded it.
+      stats_.agent_failures += 1;
+      return std::nullopt;
+    }
+    if (!drive_) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  // Reply never came: abandon (drops the connection so a late reply can't
+  // mis-pair with the next fan-out's query) and report the miss.
+  c.abandon_query();
+  stats_.agent_failures += 1;
+  return std::nullopt;
+}
+
+std::vector<std::optional<QueryReply>> QueryCoordinator::fan_out(const Query& query) {
+  // Sequential fan-out: queries are tiny and agents answer in one poll, so
+  // pipelining across connections would buy little and cost the
+  // one-outstanding-query simplicity.
+  std::vector<std::optional<QueryReply>> replies;
+  replies.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) replies.push_back(ask(i, query));
+  return replies;
+}
+
+common::LatencySketch QueryCoordinator::fleet() {
+  Query q;
+  q.kind = QueryKind::kFleet;
+  std::vector<common::LatencySketch> parts;
+  for (auto& reply : fan_out(q)) {
+    if (reply.has_value()) parts.push_back(std::move(reply->fleet));
+  }
+  return merge_fleet_sketches(parts);
+}
+
+std::vector<collect::RankedFlowSummary> QueryCoordinator::top_k_ranked(std::size_t k,
+                                                                       double q) {
+  Query query;
+  query.kind = QueryKind::kTopK;
+  query.k = static_cast<std::uint32_t>(std::min<std::size_t>(k, ~std::uint32_t{0}));
+  query.q = q;
+  std::vector<std::vector<collect::RankedFlowSummary>> parts;
+  for (auto& reply : fan_out(query)) {
+    if (reply.has_value()) parts.push_back(std::move(reply->top));
+  }
+  // Duplicates (a flow with records on several agents) are resolved from
+  // the flow's exact merged sketch — never double-counted.
+  return merge_ranked_top_k(parts, k,
+                            [this, q](const net::FiveTuple& key)
+                                -> std::optional<collect::RankedFlowSummary> {
+                              auto sketch = flow_sketch(key);
+                              if (!sketch.has_value()) return std::nullopt;
+                              return collect::RankedFlowSummary{sketch->quantile(q),
+                                                                summarize_flow(key, *sketch)};
+                            });
+}
+
+std::vector<collect::FlowSummary> QueryCoordinator::top_k_flows(std::size_t k, double q) {
+  return collect::strip_ranks(top_k_ranked(k, q));
+}
+
+std::optional<common::LatencySketch> QueryCoordinator::flow_sketch(
+    const net::FiveTuple& key) {
+  Query q;
+  q.kind = QueryKind::kFlowSketch;
+  q.key = key;
+  std::vector<common::LatencySketch> parts;
+  for (auto& reply : fan_out(q)) {
+    if (reply.has_value() && reply->flow_sketch.has_value()) {
+      parts.push_back(std::move(*reply->flow_sketch));
+    }
+  }
+  if (parts.empty()) return std::nullopt;
+  return merge_fleet_sketches(parts);
+}
+
+std::optional<double> QueryCoordinator::flow_quantile(const net::FiveTuple& key, double q) {
+  const auto sketch = flow_sketch(key);
+  if (!sketch.has_value()) return std::nullopt;
+  return sketch->quantile(q);
+}
+
+std::vector<std::pair<collect::LinkId, common::LatencySketch>>
+QueryCoordinator::link_distributions() {
+  Query q;
+  q.kind = QueryKind::kLinks;
+  std::map<collect::LinkId, common::LatencySketch> merged;
+  for (auto& reply : fan_out(q)) {
+    if (!reply.has_value()) continue;
+    for (auto& [link, sketch] : reply->links) {
+      auto [it, inserted] = merged.try_emplace(link, sketch.config());
+      it->second.merge(sketch);
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::optional<AgentStats>> QueryCoordinator::per_agent_stats() {
+  Query q;
+  q.kind = QueryKind::kStats;
+  std::vector<std::optional<AgentStats>> stats;
+  for (auto& reply : fan_out(q)) {
+    if (reply.has_value()) {
+      stats.push_back(reply->stats);
+    } else {
+      stats.push_back(std::nullopt);
+    }
+  }
+  return stats;
+}
+
+AgentStats QueryCoordinator::fleet_stats() {
+  std::vector<AgentStats> parts;
+  for (const auto& stats : per_agent_stats()) {
+    if (stats.has_value()) parts.push_back(*stats);
+  }
+  return merge_agent_stats(parts);
+}
+
+}  // namespace rlir::transport

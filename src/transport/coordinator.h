@@ -1,0 +1,171 @@
+// The fleet-of-agents query tier: a QueryCoordinator holds one
+// CollectorClient connection per CollectorAgent, fans every query out to
+// all of them, and merges the replies EXACTLY:
+//
+//   * fleet / link / flow sketches  -> LatencySketch::merge (bin-wise
+//     addition — associative, commutative, exact);
+//   * ranked top-k                  -> merge of the per-agent ranked lists
+//     under the shared worst-first ordering; a flow that (exceptionally)
+//     appears in several agents' lists is re-resolved from its merged
+//     flow sketch instead of double-counted;
+//   * flow quantiles                -> computed from the MERGED flow sketch
+//     (quantiles don't merge; bins do), so a flow split across agents
+//     still answers exactly;
+//   * stats                         -> saturating sums of agent counters.
+//
+// Exactness contract: answers are bin-for-bin identical to a single
+// collector that ingested every record the queried agents ingested. For
+// top-k the global answer is additionally guaranteed to be contained in
+// the union of per-agent top-k lists when each flow's records live on one
+// agent — the invariant PartitionedClient maintains (and the reason the
+// duplicate-resolution path is a rebalance-edge-case, not the common one).
+//
+// Agents that are down answer nothing: the merge covers the reachable
+// fleet (counted in stats().agent_failures per fan-out), which is the
+// operator-correct degradation — partial truth, never double counting.
+//
+// Threading: not thread-safe; one owner drives queries. For single-thread
+// deployments (loopback tests, simulations) set_drive() installs a hook
+// pumped between poll rounds — typically "poll every agent".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "collect/estimate_record.h"
+#include "collect/sharded_collector.h"
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+#include "transport/client.h"
+#include "transport/messages.h"
+
+namespace rlir::transport {
+
+// --- Merge helpers (the coordinator's math, exposed for property tests) ----
+
+/// Exact union of sketch parts (empty input -> empty default sketch).
+/// Throws std::invalid_argument on a relative-accuracy mismatch.
+[[nodiscard]] common::LatencySketch merge_fleet_sketches(
+    const std::vector<common::LatencySketch>& parts);
+
+/// Re-derives one flow's ranked summary when it shows up in several parts:
+/// given the flow's exact merged sketch, returns the entry the single
+/// collector would have produced. nullopt = leave the duplicate unresolved.
+using FlowResolver =
+    std::function<std::optional<collect::RankedFlowSummary>(const net::FiveTuple&)>;
+
+/// Merges per-partition ranked top-k lists (each worst-first) into the
+/// global worst-first top-k. Keys appearing in several parts are resolved
+/// through `resolve` (exact, via the merged flow sketch); without a
+/// resolver the worst-ranked duplicate wins (approximate — only reachable
+/// when partitions overlap, which partitioned export prevents).
+[[nodiscard]] std::vector<collect::RankedFlowSummary> merge_ranked_top_k(
+    const std::vector<std::vector<collect::RankedFlowSummary>>& parts, std::size_t k,
+    const FlowResolver& resolve = {});
+
+/// The summary a collector derives from a flow's merged sketch (same field
+/// derivations as ShardedCollector, so re-resolved entries are identical).
+[[nodiscard]] collect::FlowSummary summarize_flow(const net::FiveTuple& key,
+                                                  const common::LatencySketch& sketch);
+
+/// a + b clamped to the maximum (fleet counter sums must not wrap).
+[[nodiscard]] constexpr std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? ~std::uint64_t{0} : sum;
+}
+
+/// Field-wise saturating sum of agent counter replies.
+[[nodiscard]] AgentStats merge_agent_stats(const std::vector<AgentStats>& parts);
+
+// --- The coordinator -------------------------------------------------------
+
+struct QueryCoordinatorConfig {
+  /// Per-agent connection behavior. Record-plane fields are irrelevant
+  /// (the coordinator never ships batches); reconnect/backoff apply.
+  CollectorClientConfig client;
+  /// Pump/poll rounds to wait per agent reply before declaring the agent
+  /// unreachable for this fan-out. With a drive hook each round is one
+  /// drive; without one each round sleeps ~100us (socket deployments).
+  std::size_t reply_rounds = 20000;
+};
+
+class QueryCoordinator {
+ public:
+  using StreamFactory = CollectorClient::StreamFactory;
+
+  /// Throws std::invalid_argument if reply_rounds is 0.
+  explicit QueryCoordinator(QueryCoordinatorConfig config = {});
+
+  QueryCoordinator(const QueryCoordinator&) = delete;
+  QueryCoordinator& operator=(const QueryCoordinator&) = delete;
+
+  /// Registers one agent (dials eagerly; a failed dial starts the client's
+  /// backoff). Returns the agent's index.
+  std::size_t add_agent(StreamFactory factory);
+
+  /// Hook run between poll rounds while waiting for replies — single-thread
+  /// deployments poll their agents here; socket deployments leave it unset
+  /// (the agents run their own threads/processes) and rounds sleep instead.
+  void set_drive(std::function<void()> drive);
+
+  // --- Fleet queries (each fans out to every agent and merges) ------------
+
+  /// Fleet-wide latency distribution: exact union of agent fleet sketches.
+  [[nodiscard]] common::LatencySketch fleet();
+
+  /// Global worst-first top-k at quantile q with ranking values.
+  [[nodiscard]] std::vector<collect::RankedFlowSummary> top_k_ranked(std::size_t k, double q);
+  [[nodiscard]] std::vector<collect::FlowSummary> top_k_flows(std::size_t k, double q = 0.99);
+
+  /// One flow's merged sketch across the fleet; nullopt if no reachable
+  /// agent has seen it.
+  [[nodiscard]] std::optional<common::LatencySketch> flow_sketch(const net::FiveTuple& key);
+  /// Quantile of the merged sketch (exact even for a flow split across
+  /// agents); nullopt if unseen.
+  [[nodiscard]] std::optional<double> flow_quantile(const net::FiveTuple& key, double q);
+
+  /// Every vantage with data and its distribution, ascending by link,
+  /// merged across agents (a vantage's records spread over all of them).
+  [[nodiscard]] std::vector<std::pair<collect::LinkId, common::LatencySketch>>
+  link_distributions();
+
+  /// Per-agent counters; nullopt for agents that didn't answer.
+  [[nodiscard]] std::vector<std::optional<AgentStats>> per_agent_stats();
+  /// Saturating field-wise sum over the agents that answered.
+  [[nodiscard]] AgentStats fleet_stats();
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] std::size_t agent_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t connected_count() const;
+  [[nodiscard]] CollectorClient& client(std::size_t agent);
+
+  struct Stats {
+    std::uint64_t queries_sent = 0;
+    std::uint64_t replies_merged = 0;
+    /// Per-fan-out agent misses: unreachable, reply timeout, or a protocol
+    /// error on the reply path (the connection is dropped and re-dialed).
+    std::uint64_t agent_failures = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] const QueryCoordinatorConfig& config() const { return config_; }
+
+ private:
+  /// One agent's answer to one query, or nullopt (failure counted).
+  [[nodiscard]] std::optional<QueryReply> ask(std::size_t agent, const Query& query);
+  /// Fans `query` to every agent; replies in agent order, nullopt for
+  /// agents that failed this fan-out.
+  [[nodiscard]] std::vector<std::optional<QueryReply>> fan_out(const Query& query);
+
+  QueryCoordinatorConfig config_;
+  std::vector<std::unique_ptr<CollectorClient>> clients_;
+  std::function<void()> drive_;
+  Stats stats_;
+};
+
+}  // namespace rlir::transport

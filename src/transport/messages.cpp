@@ -19,8 +19,9 @@ using common::wire::take_f64;
 constexpr std::size_t kTupleSize = 4 + 4 + 2 + 2 + 1;
 constexpr std::size_t kQuerySize = 1 + 4 + 8 + kTupleSize;
 constexpr std::size_t kTopEntrySize = 8 + kTupleSize + 8 + 8 + 8 + 8 + 8;
-/// Corruption guard, mirroring the record format's bin guard.
+/// Corruption guards, mirroring the record format's bin guard.
 constexpr std::uint32_t kMaxTopEntries = 1u << 20;
+constexpr std::uint32_t kMaxLinkEntries = 1u << 20;
 
 void put_tuple(std::uint8_t*& p, const net::FiveTuple& key) {
   put<std::uint32_t>(p, key.src.value());
@@ -42,7 +43,7 @@ net::FiveTuple take_tuple(const std::uint8_t*& p) {
 
 [[nodiscard]] bool known_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(QueryKind::kFleet) &&
-         k <= static_cast<std::uint8_t>(QueryKind::kStats);
+         k <= static_cast<std::uint8_t>(QueryKind::kLinks);
 }
 
 }  // namespace
@@ -90,6 +91,17 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
     case QueryKind::kStats:
       body = 8 * 8;
       break;
+    case QueryKind::kFlowSketch:
+      body = 1 + (reply.flow_sketch.has_value() ? collect::sketch_wire_size(*reply.flow_sketch)
+                                                : 0);
+      break;
+    case QueryKind::kLinks:
+      body = 4;
+      for (const auto& [link, sketch] : reply.links) {
+        (void)link;
+        body += 4 + collect::sketch_wire_size(sketch);
+      }
+      break;
   }
   std::vector<std::uint8_t> buf(1 + body);
   std::uint8_t* p = buf.data();
@@ -123,6 +135,17 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
       put<std::uint64_t>(p, reply.stats.batches_received);
       put<std::uint64_t>(p, reply.stats.queries_answered);
       put<std::uint64_t>(p, reply.stats.protocol_errors);
+      break;
+    case QueryKind::kFlowSketch:
+      put<std::uint8_t>(p, reply.flow_sketch.has_value() ? 1 : 0);
+      if (reply.flow_sketch.has_value()) collect::encode_sketch(p, *reply.flow_sketch);
+      break;
+    case QueryKind::kLinks:
+      put<std::uint32_t>(p, static_cast<std::uint32_t>(reply.links.size()));
+      for (const auto& [link, sketch] : reply.links) {
+        put<std::uint32_t>(p, link);
+        collect::encode_sketch(p, sketch);
+      }
       break;
   }
   return buf;
@@ -183,6 +206,26 @@ QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
       reply.stats.queries_answered = take<std::uint64_t>(p);
       reply.stats.protocol_errors = take<std::uint64_t>(p);
       break;
+    case QueryKind::kFlowSketch: {
+      if (end - p < 1) throw std::runtime_error("QueryReply: truncated flow-sketch flag");
+      const auto present = take<std::uint8_t>(p);
+      if (present != 0) reply.flow_sketch = collect::decode_sketch(p, end);
+      break;
+    }
+    case QueryKind::kLinks: {
+      if (end - p < 4) throw std::runtime_error("QueryReply: truncated link count");
+      const auto count = take<std::uint32_t>(p);
+      if (count > kMaxLinkEntries) {
+        throw std::runtime_error("QueryReply: implausible link count");
+      }
+      reply.links.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (end - p < 4) throw std::runtime_error("QueryReply: truncated link entry");
+        const auto link = take<std::uint32_t>(p);
+        reply.links.emplace_back(link, collect::decode_sketch(p, end));
+      }
+      break;
+    }
   }
   if (p != end) throw std::runtime_error("QueryReply: trailing bytes");
   return reply;

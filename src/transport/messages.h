@@ -14,6 +14,8 @@
 //                      | f64 mean | f64 p50 | f64 p99 | f64 max)
 //     kFlowQuantile -> u8 present | f64 value
 //     kStats        -> 8 x u64 (see AgentStats)
+//     kFlowSketch   -> u8 present | sketch segment (when present)
+//     kLinks        -> u32 count | count x (u32 link | sketch segment)
 #pragma once
 
 #include <cstdint>
@@ -36,6 +38,12 @@ enum class QueryKind : std::uint8_t {
   kFlowQuantile = 3,
   /// Agent/collector counters (liveness + conservation checks).
   kStats = 4,
+  /// One flow's full merged sketch (absent if unseen) — what a coordinator
+  /// needs to merge a flow whose records landed on several agents exactly
+  /// (quantiles don't merge; bins do).
+  kFlowSketch = 5,
+  /// Every vantage (link) with data, each with its merged distribution.
+  kLinks = 6,
 };
 
 struct Query {
@@ -44,7 +52,7 @@ struct Query {
   std::uint32_t k = 0;
   /// kTopK / kFlowQuantile: the quantile.
   double q = 0.99;
-  /// kFlowQuantile: the flow.
+  /// kFlowQuantile / kFlowSketch: the flow.
   net::FiveTuple key;
 };
 
@@ -66,6 +74,9 @@ struct QueryReply {
   std::vector<collect::RankedFlowSummary> top;      // kTopK, worst first
   std::optional<double> quantile;                   // kFlowQuantile
   AgentStats stats;                                 // kStats
+  std::optional<common::LatencySketch> flow_sketch; // kFlowSketch
+  /// kLinks: link id -> merged distribution, ascending by link.
+  std::vector<std::pair<collect::LinkId, common::LatencySketch>> links;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const Query& query);

@@ -1,0 +1,192 @@
+#include "transport/partitioned_client.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/hash.h"
+
+namespace rlir::transport {
+
+PartitionedClient::PartitionedClient(PartitionedClientConfig config) : config_(config) {
+  if (config_.slot_count == 0) {
+    throw std::invalid_argument("PartitionedClient: zero slot_count");
+  }
+  if (config_.down_after_pumps == 0) {
+    throw std::invalid_argument("PartitionedClient: zero down_after_pumps");
+  }
+}
+
+std::size_t PartitionedClient::add_endpoint(StreamFactory factory) {
+  if (sealed_) {
+    throw std::logic_error(
+        "PartitionedClient: endpoints are fixed after the first submit/pump");
+  }
+  Endpoint ep;
+  ep.client = std::make_unique<CollectorClient>(config_.client, std::move(factory));
+  endpoints_.push_back(std::move(ep));
+  return endpoints_.size() - 1;
+}
+
+void PartitionedClient::seal() {
+  if (sealed_) return;
+  if (endpoints_.empty()) {
+    throw std::logic_error("PartitionedClient: no endpoints added");
+  }
+  if (config_.slot_count < endpoints_.size()) {
+    throw std::invalid_argument("PartitionedClient: fewer slots than endpoints");
+  }
+  sealed_ = true;
+  slots_.assign(config_.slot_count, 0);
+  split_.resize(endpoints_.size());
+  // Initial table: every slot at home. recompute_slots() counts changes, so
+  // seed the home assignment directly instead of "reassigning" from zero.
+  for (std::size_t s = 0; s < slots_.size(); ++s) slots_[s] = s % endpoints_.size();
+}
+
+std::size_t PartitionedClient::slot_for(const net::FiveTuple& key) const {
+  // One extra mix64 round decorrelates slot selection from the collectors'
+  // shard routing (both start from key.hash()): an agent loss must not
+  // correlate with any particular shard's flows.
+  return net::mix64(key.hash()) % config_.slot_count;
+}
+
+std::size_t PartitionedClient::endpoint_for_slot(std::size_t slot) const {
+  return slots_.at(slot);
+}
+
+std::size_t PartitionedClient::endpoint_for(const net::FiveTuple& key) const {
+  return slots_.at(slot_for(key));
+}
+
+bool PartitionedClient::endpoint_healthy(std::size_t endpoint) const {
+  return endpoints_.at(endpoint).healthy;
+}
+
+std::size_t PartitionedClient::healthy_count() const {
+  std::size_t n = 0;
+  for (const auto& ep : endpoints_) n += ep.healthy ? 1 : 0;
+  return n;
+}
+
+CollectorClient& PartitionedClient::client(std::size_t endpoint) {
+  return *endpoints_.at(endpoint).client;
+}
+
+const CollectorClient& PartitionedClient::client(std::size_t endpoint) const {
+  return *endpoints_.at(endpoint).client;
+}
+
+void PartitionedClient::submit(std::uint32_t epoch,
+                               const std::vector<collect::EstimateRecord>& batch) {
+  seal();
+  if (batch.empty()) return;
+  for (const auto& record : batch) {
+    split_[slots_[slot_for(record.key)]].push_back(record);
+  }
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    if (split_[e].empty()) continue;
+    endpoints_[e].client->submit(epoch, split_[e]);
+    endpoints_[e].records_routed += split_[e].size();
+    split_[e].clear();
+  }
+  stats_.records_submitted += batch.size();
+  stats_.batches_submitted += 1;
+}
+
+void PartitionedClient::flush() {
+  for (auto& ep : endpoints_) ep.client->flush();
+}
+
+std::size_t PartitionedClient::pump() {
+  seal();
+  std::size_t written = 0;
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    written += endpoints_[e].client->pump();
+    update_health(e);
+  }
+  return written;
+}
+
+void PartitionedClient::update_health(std::size_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.client->connected()) {
+    ep.failed_pumps = 0;
+    if (!ep.healthy) {
+      ep.healthy = true;
+      stats_.recoveries += 1;
+      recompute_slots();
+    }
+    return;
+  }
+  if (!ep.healthy) return;  // already down, the client keeps re-dialing
+  ep.failed_pumps += 1;
+  if (ep.failed_pumps >= config_.down_after_pumps) {
+    ep.healthy = false;
+    stats_.rebalances += 1;
+    recompute_slots();
+  }
+}
+
+void PartitionedClient::recompute_slots() {
+  std::vector<std::size_t> healthy;
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    if (endpoints_[e].healthy) healthy.push_back(e);
+  }
+  // All endpoints down: leave the table alone. Records keep queueing in
+  // their home clients (bounded by the buffer cap, shed oldest-first) and
+  // flow again wherever endpoints come back.
+  if (healthy.empty()) return;
+  std::uint64_t moved = 0;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const std::size_t home = s % endpoints_.size();
+    const std::size_t owner =
+        endpoints_[home].healthy ? home : healthy[s % healthy.size()];
+    if (slots_[s] != owner) {
+      slots_[s] = owner;
+      moved += 1;
+    }
+  }
+  stats_.slots_reassigned += moved;
+}
+
+bool PartitionedClient::drain(std::size_t max_pumps) {
+  seal();
+  flush();
+  for (std::size_t i = 0; i < max_pumps; ++i) {
+    bool pending = false;
+    for (const auto& ep : endpoints_) {
+      if (ep.healthy && ep.client->buffered_bytes() > 0) pending = true;
+    }
+    if (!pending) break;
+    pump();
+  }
+  for (const auto& ep : endpoints_) {
+    if (ep.healthy && ep.client->buffered_bytes() > 0) return false;
+  }
+  return true;
+}
+
+collect::EpochScheduler::BatchSink PartitionedClient::make_sink() {
+  return [this](std::uint32_t epoch, const std::vector<collect::EstimateRecord>& batch) {
+    submit(epoch, batch);
+    pump();
+  };
+}
+
+std::uint64_t PartitionedClient::records_routed(std::size_t endpoint) const {
+  return endpoints_.at(endpoint).records_routed;
+}
+
+std::uint64_t PartitionedClient::records_shed() const {
+  std::uint64_t shed = 0;
+  for (const auto& ep : endpoints_) shed += ep.client->stats().records_shed;
+  return shed;
+}
+
+std::size_t PartitionedClient::records_inflight() const {
+  std::size_t inflight = 0;
+  for (const auto& ep : endpoints_) inflight += ep.client->queued_records();
+  return inflight;
+}
+
+}  // namespace rlir::transport

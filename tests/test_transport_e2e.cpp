@@ -18,14 +18,7 @@
 #include <utility>
 #include <vector>
 
-#include "collect/epoch_scheduler.h"
-#include "collect/fleet.h"
-#include "rli/sender.h"
-#include "rlir/demux.h"
-#include "rlir/sender_agent.h"
-#include "timebase/clock.h"
-#include "topo/fattree_sim.h"
-#include "trace/synthetic.h"
+#include "fleet_workload.h"
 #include "transport/agent.h"
 #include "transport/client.h"
 #include "transport/socket.h"
@@ -33,140 +26,22 @@
 namespace rlir {
 namespace {
 
-using timebase::Duration;
+constexpr std::size_t kShards = testutil::kWorkloadShards;
 
-constexpr int kK = 4;
-constexpr std::size_t kShards = 4;
-
-/// Runs the standard fleet workload (2 source ToRs -> 1 destination ToR,
-/// core + destination vantages, scheduler-driven epochs). Batches go to the
-/// fleet's in-process collector, or to `sink` when given; `between_steps`
-/// lets the transport runs drive an agent inline with the simulation.
+/// The shared workload, single-sink (this file predates the partitioned
+/// fleet; its transport runs ship everything to one agent).
 template <typename BetweenSteps>
 collect::ShardedCollector run_workload(collect::EpochScheduler::BatchSink sink,
                                        BetweenSteps between_steps) {
-  topo::FatTree topo(kK);
-  topo::Crc32EcmpHasher hasher;
-  timebase::PerfectClock clock;
-  topo::FatTreeSim sim(&topo, topo::FatTreeSimConfig{}, &hasher);
-
-  const auto src_a = topo.tor(0, 0);
-  const auto src_b = topo.tor(0, 1);
-  const auto dst = topo.tor(3, 0);
-  const auto cores = topo.cores();
-  sim.add_extra_delay(topo.core(1), Duration::microseconds(40));
-
-  rli::SenderConfig s1_cfg;
-  s1_cfg.id = 1;
-  s1_cfg.static_gap = 50;
-  rlir::TorSenderAgent s1(s1_cfg, &clock, cores);
-  sim.add_agent(src_a, &s1);
-  rli::SenderConfig s2_cfg = s1_cfg;
-  s2_cfg.id = 2;
-  rlir::TorSenderAgent s2(s2_cfg, &clock, cores);
-  sim.add_agent(src_b, &s2);
-
-  rlir::PrefixDemux up_demux;
-  up_demux.add_origin(topo.host_prefix(src_a), 1);
-  up_demux.add_origin(topo.host_prefix(src_b), 2);
-
-  rlir::ReverseEcmpDemux down_demux(&topo, &hasher, dst);
-  std::vector<std::unique_ptr<rlir::CoreSenderAgent>> core_senders;
-  for (int c = 0; c < topo.core_count(); ++c) {
-    rli::SenderConfig cfg;
-    cfg.id = static_cast<net::SenderId>(10 + c);
-    cfg.static_gap = 50;
-    core_senders.push_back(std::make_unique<rlir::CoreSenderAgent>(
-        cfg, &clock, std::vector<topo::NodeId>{dst}));
-    sim.add_agent(topo.core(c), core_senders.back().get());
-    down_demux.set_sender_at_core(c, cfg.id);
-  }
-
-  collect::FleetConfig fleet_cfg;
-  fleet_cfg.collector.shard_count = kShards;
-  collect::FleetCollector fleet(fleet_cfg, &clock);
-  if (sink) fleet.set_batch_sink(std::move(sink));
-  for (const auto& core : cores) fleet.deploy(sim, core, &up_demux);
-  fleet.deploy(sim, dst, &down_demux);
-
-  for (const auto src : {src_a, src_b}) {
-    trace::SyntheticConfig cfg;
-    cfg.duration = Duration::milliseconds(20);
-    cfg.offered_bps = 1.0e9;
-    cfg.seed = src == src_a ? 61 : 62;
-    cfg.src_pool = topo.host_prefix(src);
-    cfg.dst_pool = topo.host_prefix(dst);
-    cfg.first_seq = cfg.seed * 100'000'000ULL;
-    for (const auto& pkt : trace::SyntheticTraceGenerator(cfg).generate_all()) {
-      sim.inject_from_host(pkt);
-    }
-  }
-
-  collect::EpochSchedulerConfig sched_cfg;
-  sched_cfg.period = Duration::milliseconds(5);
-  sched_cfg.max_flow_idle = Duration::milliseconds(2);
-  collect::EpochScheduler scheduler(sched_cfg);
-  fleet.attach_scheduler(scheduler);
-
-  const Duration step = Duration::milliseconds(1);
-  timebase::TimePoint t = timebase::TimePoint::zero();
-  while (sim.events_pending()) {
-    t += step;
-    sim.run_until(t);
-    scheduler.advance_to(t);
-    between_steps();
-  }
-  scheduler.advance_to(sim.now() + sched_cfg.period);
-  between_steps();
-
-  return fleet.collector();  // empty for the transport runs (sink diverted)
+  std::vector<collect::EpochScheduler::BatchSink> sinks;
+  if (sink) sinks.push_back(std::move(sink));
+  return testutil::run_fleet_workload(std::move(sinks), between_steps);
 }
 
-/// The in-process ground truth every transport run is compared against.
-collect::ShardedCollector baseline_state() {
-  return run_workload(collect::EpochScheduler::BatchSink{}, [] {});
-}
+collect::ShardedCollector baseline_state() { return testutil::fleet_baseline_state(); }
 
-/// Bin-for-bin equality of two collectors' entire observable state.
 void expect_identical(collect::ShardedCollector& got, collect::ShardedCollector& want) {
-  ASSERT_GT(want.records_ingested(), 0u);
-  EXPECT_EQ(got.records_ingested(), want.records_ingested());
-  EXPECT_EQ(got.estimates_ingested(), want.estimates_ingested());
-  EXPECT_EQ(got.flow_count(), want.flow_count());
-  EXPECT_EQ(got.epochs_seen(), want.epochs_seen());
-
-  // Fleet-wide and per-vantage distributions, exact.
-  EXPECT_EQ(got.fleet().bins(), want.fleet().bins());
-  EXPECT_EQ(got.fleet().count(), want.fleet().count());
-  ASSERT_EQ(got.links(), want.links());
-  for (const auto link : want.links()) {
-    const auto got_dist = got.link_distribution(link);
-    const auto want_dist = want.link_distribution(link);
-    ASSERT_TRUE(got_dist.has_value());
-    EXPECT_EQ(got_dist->bins(), want_dist->bins()) << "link " << link;
-  }
-
-  // Every flow's merged sketch, bin for bin (top_k with k = all flows
-  // enumerates them deterministically).
-  const auto all = want.top_k_flows(want.flow_count(), 0.99);
-  ASSERT_EQ(all.size(), want.flow_count());
-  for (const auto& flow : all) {
-    const auto* got_sketch = got.flow(flow.key);
-    const auto* want_sketch = want.flow(flow.key);
-    ASSERT_NE(got_sketch, nullptr) << flow.key.to_string();
-    EXPECT_EQ(got_sketch->bins(), want_sketch->bins()) << flow.key.to_string();
-    EXPECT_EQ(got_sketch->count(), want_sketch->count()) << flow.key.to_string();
-    EXPECT_EQ(got_sketch->sum(), want_sketch->sum()) << flow.key.to_string();
-  }
-
-  // And the ranked answers a higher tier would consume.
-  const auto got_top = got.top_k_flows(10, 0.99);
-  const auto want_top = want.top_k_flows(10, 0.99);
-  ASSERT_EQ(got_top.size(), want_top.size());
-  for (std::size_t i = 0; i < want_top.size(); ++i) {
-    EXPECT_EQ(got_top[i].key, want_top[i].key) << "rank " << i;
-    EXPECT_EQ(got_top[i].p99_ns, want_top[i].p99_ns) << "rank " << i;
-  }
+  testutil::expect_identical_collectors(got, want);
 }
 
 TEST(TransportE2E, LoopbackMatchesInProcessBinForBin) {
