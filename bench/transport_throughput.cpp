@@ -24,10 +24,12 @@
 
 #include "collect/exporter.h"
 #include "common/rng.h"
+#include "obs/exposition.h"
 #include "rli/receiver.h"
 #include "trace/synthetic.h"
 #include "transport/agent.h"
 #include "transport/client.h"
+#include "transport/coordinator.h"
 #include "transport/partitioned_client.h"
 #include "transport/socket.h"
 
@@ -45,6 +47,15 @@ std::vector<std::pair<std::string, double>>& metrics() {
   return rows;
 }
 
+/// The merged fleet scrape of the last partitioned run, as an obs JSON
+/// object — embedded in the BENCH_transport.json artifact so a perf
+/// regression comes with the observability state that explains it (shed
+/// counts, queue depths, batch-size histograms).
+std::string& fleet_metrics_json() {
+  static std::string json;
+  return json;
+}
+
 void print_metric(const std::string& name, double value, const char* unit) {
   std::printf("%-28s %14.3f %s\n", name.c_str(), value, unit);
   metrics().emplace_back(name, value);
@@ -59,8 +70,11 @@ bool write_json(const std::string& path) {
   std::fprintf(f, "{\n");
   for (std::size_t i = 0; i < metrics().size(); ++i) {
     const auto& [name, value] = metrics()[i];
-    std::fprintf(f, "  \"%s\": %.6g%s\n", name.c_str(), value,
-                 i + 1 < metrics().size() ? "," : "");
+    const bool last = i + 1 == metrics().size() && fleet_metrics_json().empty();
+    std::fprintf(f, "  \"%s\": %.6g%s\n", name.c_str(), value, last ? "" : ",");
+  }
+  if (!fleet_metrics_json().empty()) {
+    std::fprintf(f, "  \"fleet_metrics\": %s\n", fleet_metrics_json().c_str());
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -175,6 +189,15 @@ int run_partitioned(const std::vector<collect::EstimateRecord>& batch, std::uint
     std::fprintf(stderr, "partitioned %zu-agent run lost records\n", n_agents);
     return 1;
   }
+
+  // Capture the fleet's merged scrape (largest sweep wins: runs overwrite).
+  // Local agents, so scrape() is a direct call — no kMetrics round-trip, the
+  // bench clock is already stopped either way.
+  std::vector<obs::Scrape> scrapes;
+  for (auto& agent : agents) scrapes.push_back(agent->scrape());
+  auto fleet = transport::merge_scrapes(scrapes);
+  obs::append_event_counters(fleet.metrics, fleet.events);
+  fleet_metrics_json() = obs::to_json(fleet.metrics);
   return 0;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/exposition.h"
 #include "transport/agent.h"
 #include "transport/socket.h"
 
@@ -33,9 +34,29 @@ void handle_signal(int) { g_stop.store(true); }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --listen (tcp:HOST:PORT | unix:PATH) [--shards N] "
-               "[--idle-exit-ms MS]\n",
+               "[--idle-exit-ms MS] [--metrics] [--metrics-every EPOCHS] [--quiet]\n"
+               "  --metrics             dump the Prometheus scrape on exit\n"
+               "  --metrics-every N     stderr health line every N ingested epochs (default 8)\n"
+               "  --quiet               suppress the periodic health line\n",
                argv0);
   return 2;
+}
+
+/// One operator-readable line per N epochs: the always-on heartbeat between
+/// full scrapes (kMetrics queries or the --metrics exit dump).
+void print_health_line(rlir::transport::CollectorAgent& agent) {
+  const auto stats = agent.stats();
+  const auto events = agent.events().snapshot();
+  std::fprintf(stderr,
+               "collector_daemon: epochs %llu  records %llu  flows %llu  conns %zu  "
+               "events[connect %llu disconnect %llu crc %llu shed %llu]\n",
+               static_cast<unsigned long long>(stats.epochs),
+               static_cast<unsigned long long>(stats.records_ingested),
+               static_cast<unsigned long long>(stats.flows), agent.connection_count(),
+               static_cast<unsigned long long>(events.count(rlir::obs::EventKind::kConnect)),
+               static_cast<unsigned long long>(events.count(rlir::obs::EventKind::kDisconnect)),
+               static_cast<unsigned long long>(events.count(rlir::obs::EventKind::kCrcPoison)),
+               static_cast<unsigned long long>(events.count(rlir::obs::EventKind::kShed)));
 }
 
 }  // namespace
@@ -44,6 +65,9 @@ int main(int argc, char** argv) {
   std::string listen_text;
   std::size_t shards = 8;
   long idle_exit_ms = 0;  // 0 = run until signalled
+  bool dump_metrics = false;
+  bool quiet = false;
+  unsigned long metrics_every = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen_text = argv[++i];
@@ -51,11 +75,17 @@ int main(int argc, char** argv) {
       shards = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--idle-exit-ms") == 0 && i + 1 < argc) {
       idle_exit_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
+      metrics_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
     } else {
       return usage(argv[0]);
     }
   }
-  if (listen_text.empty() || shards == 0) return usage(argv[0]);
+  if (listen_text.empty() || shards == 0 || metrics_every == 0) return usage(argv[0]);
 
   using namespace rlir;
   try {
@@ -77,6 +107,7 @@ int main(int argc, char** argv) {
     using Clock = std::chrono::steady_clock;
     auto last_activity = Clock::now();
     bool saw_connection = false;
+    std::uint64_t next_health_epoch = metrics_every;
     while (!g_stop.load(std::memory_order_relaxed)) {
       const std::size_t frames = agent.poll();
       if (agent.connection_count() > 0) saw_connection = true;
@@ -87,6 +118,12 @@ int main(int argc, char** argv) {
         std::printf("collector_daemon: idle for %ld ms after last client, exiting\n",
                     idle_exit_ms);
         break;
+      }
+      if (!quiet && frames > 0 && agent.stats().epochs >= next_health_epoch) {
+        print_health_line(agent);
+        // Re-arm past the CURRENT epoch count: a burst that jumps several
+        // boundaries prints one line, not one per boundary.
+        next_health_epoch = (agent.stats().epochs / metrics_every + 1) * metrics_every;
       }
       if (frames == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -101,6 +138,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.flows),
                 static_cast<unsigned long long>(stats.queries_answered),
                 static_cast<unsigned long long>(stats.protocol_errors));
+    if (dump_metrics) {
+      // Same content a kMetrics query ships: registry + AgentStats field
+      // table + event counters, in Prometheus text.
+      auto scrape = agent.scrape();
+      obs::append_event_counters(scrape.metrics, scrape.events);
+      std::fputs(obs::to_prometheus(scrape.metrics).c_str(), stdout);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "collector_daemon: %s\n", e.what());

@@ -22,6 +22,7 @@
 
 #include "collect/epoch_scheduler.h"
 #include "collect/fleet.h"
+#include "obs/exposition.h"
 #include "rli/sender.h"
 #include "rlir/demux.h"
 #include "rlir/sender_agent.h"
@@ -36,7 +37,8 @@
 namespace rlir {
 namespace {
 
-int run(const std::vector<std::string>& connect_texts, std::size_t n_agents) {
+int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
+        bool dump_metrics) {
   using timebase::Duration;
 
   // --- The fleet: dialed daemons, or in-process agents on loopback pipes.
@@ -203,6 +205,15 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents) {
               static_cast<unsigned long long>(delivered),
               static_cast<unsigned long long>(totals.records_ingested),
               conserved ? "exact" : "MISMATCH");
+
+  if (dump_metrics) {
+    // The fleet roll-up a monitoring system would scrape: every agent's
+    // registry merged (counters summed, histograms unioned bin-for-bin).
+    auto scrape = coord.fleet_metrics();
+    obs::append_event_counters(scrape.metrics, scrape.events);
+    std::printf("\n# fleet metrics (merged from %zu agents)\n", coord.connected_count());
+    std::fputs(obs::to_prometheus(scrape.metrics).c_str(), stdout);
+  }
   return conserved ? 0 : 1;
 }
 
@@ -212,6 +223,7 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents) {
 int main(int argc, char** argv) {
   std::vector<std::string> connect_texts;
   std::size_t n_agents = 4;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -221,17 +233,20 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--agents") == 0 && i + 1 < argc) {
       n_agents = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--connect ADDR[,ADDR...]] [--agents N]\n"
-                   "  ADDR = tcp:HOST:PORT | unix:PATH\n",
+                   "usage: %s [--connect ADDR[,ADDR...]] [--agents N] [--metrics]\n"
+                   "  ADDR = tcp:HOST:PORT | unix:PATH\n"
+                   "  --metrics   dump the merged fleet scrape (Prometheus text)\n",
                    argv[0]);
       return 2;
     }
   }
   if (n_agents == 0) return 2;
   try {
-    return rlir::run(connect_texts, n_agents);
+    return rlir::run(connect_texts, n_agents, dump_metrics);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet_coordinator: %s\n", e.what());
     return 1;

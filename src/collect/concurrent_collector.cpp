@@ -19,14 +19,19 @@ CollectorConfig lane_config(const ConcurrentCollectorConfig& config) {
 }  // namespace
 
 ConcurrentShardedCollector::ConcurrentShardedCollector(ConcurrentCollectorConfig config)
-    : config_(config) {
+    : config_(config), obs_(config.instruments) {
   if (config_.shard_count == 0) {
     throw std::invalid_argument("ConcurrentShardedCollector: shard_count must be >= 1");
   }
+  auto& r = obs_.registry();
+  fallbacks_ = r.counter("rlir_collect_fallback_ingests_total", obs_.labels());
+  submitted_ = r.counter("rlir_collect_records_submitted_total", obs_.labels());
   // top_k_quantile is validated by the lane ShardedCollector constructors.
   lanes_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i) {
     lanes_.push_back(std::make_unique<Lane>(lane_config(config_)));
+    lanes_.back()->depth =
+        r.gauge("rlir_collect_lane_queue_depth", obs_.labels_with("lane", std::to_string(i)));
   }
   if (threaded()) {
     for (auto& lane : lanes_) {
@@ -61,6 +66,7 @@ void ConcurrentShardedCollector::submit(EstimateRecord record) {
     throw std::invalid_argument(
         "ConcurrentShardedCollector::submit: record sketch accuracy differs from config");
   }
+  submitted_->increment();
   Lane& lane = lane_for(record.key);
   if (threaded()) {
     {
@@ -68,6 +74,7 @@ void ConcurrentShardedCollector::submit(EstimateRecord record) {
       if (lane.queue.size() < config_.queue_capacity) {
         lane.queue.push_back(std::move(record));
         ++lane.pending;
+        lane.depth->set(static_cast<std::int64_t>(lane.queue.size()));
         lock.unlock();
         lane.queue_ready.notify_one();
         return;
@@ -76,7 +83,7 @@ void ConcurrentShardedCollector::submit(EstimateRecord record) {
     // Queue full: backpressure resolves on the submitting thread, which pays
     // for the merge itself instead of blocking the other producers. Ordering
     // vs still-queued records is irrelevant — merge is commutative and exact.
-    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    fallbacks_->increment();
   }
   apply(lane, record);
 }
@@ -88,6 +95,7 @@ void ConcurrentShardedCollector::submit(std::vector<EstimateRecord> batch) {
           "ConcurrentShardedCollector::submit: record sketch accuracy differs from config");
     }
   }
+  submitted_->add(batch.size());
   if (!threaded()) {
     for (auto& record : batch) apply(lane_for(record.key), record);
     return;
@@ -109,11 +117,12 @@ void ConcurrentShardedCollector::submit(std::vector<EstimateRecord> batch) {
         ++accepted;
       }
       lane.pending += accepted;
+      lane.depth->set(static_cast<std::int64_t>(lane.queue.size()));
     }
     if (accepted > 0) lane.queue_ready.notify_one();
     if (accepted < chunk.size()) {
       // Overflow spills to the inline path in one state-lock session.
-      fallbacks_.fetch_add(chunk.size() - accepted, std::memory_order_relaxed);
+      fallbacks_->add(chunk.size() - accepted);
       const std::lock_guard<std::mutex> state_lock(lane.state_mu);
       for (std::size_t r = accepted; r < chunk.size(); ++r) lane.state.ingest(chunk[r]);
     }
@@ -132,6 +141,7 @@ void ConcurrentShardedCollector::worker_loop(Lane& lane) {
       local.assign(std::make_move_iterator(lane.queue.begin()),
                    std::make_move_iterator(lane.queue.end()));
       lane.queue.clear();
+      lane.depth->set(0);
     }
     {
       const std::lock_guard<std::mutex> state_lock(lane.state_mu);
@@ -322,7 +332,7 @@ std::vector<std::size_t> ConcurrentShardedCollector::shard_flow_counts() {
 }
 
 std::uint64_t ConcurrentShardedCollector::fallback_ingests() const {
-  return fallbacks_.load(std::memory_order_relaxed);
+  return fallbacks_->value();
 }
 
 }  // namespace rlir::collect

@@ -34,6 +34,7 @@
 #include "collect/sharded_collector.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
+#include "obs/instrument.h"
 
 namespace rlir::collect {
 
@@ -51,6 +52,9 @@ struct ConcurrentCollectorConfig {
   common::LatencySketchConfig sketch;
   /// Quantile the per-lane top-k rank indexes are keyed on.
   double top_k_quantile = 0.99;
+  /// Observability attachment (see obs/instrument.h). Null members = the
+  /// collector owns a private registry/trace.
+  obs::Instruments instruments;
 };
 
 /// Thread-safe sharded collector: submit() from any thread, thread-per-shard
@@ -145,6 +149,10 @@ class ConcurrentShardedCollector {
 
     std::thread worker;
 
+    /// Queue-depth gauge (rlir_collect_lane_queue_depth{lane=...}); set
+    /// under queue_mu wherever queue.size() changes.
+    obs::Gauge* depth = nullptr;
+
     explicit Lane(const CollectorConfig& cfg) : state(cfg) {}
   };
 
@@ -155,10 +163,14 @@ class ConcurrentShardedCollector {
   void apply(Lane& lane, const EstimateRecord& record);
 
   ConcurrentCollectorConfig config_;
+  obs::Instrumented obs_;
   /// unique_ptr: Lane holds mutexes/condvars and is neither movable nor
   /// copyable, so the vector stores stable heap slots.
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::atomic<std::uint64_t> fallbacks_{0};
+  /// Registry cells: fallbacks replaces the old private atomic (same relaxed
+  /// semantics, now scrapeable); submitted counts records entering submit().
+  obs::Counter* fallbacks_ = nullptr;
+  obs::Counter* submitted_ = nullptr;
 };
 
 }  // namespace rlir::collect

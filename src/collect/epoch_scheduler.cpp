@@ -10,10 +10,15 @@ EpochScheduler::EpochScheduler(EpochSchedulerConfig config)
     : config_(config),
       next_epoch_(config.first_epoch),
       next_boundary_(timebase::TimePoint::zero() + config.period),
-      last_advance_(timebase::TimePoint::zero()) {
+      last_advance_(timebase::TimePoint::zero()),
+      obs_(config.instruments) {
   if (config_.period <= timebase::Duration::zero()) {
     throw std::invalid_argument("EpochScheduler: period must be > 0");
   }
+  auto& r = obs_.registry();
+  epochs_fired_ = r.counter("rlir_scheduler_epochs_fired_total", obs_.labels());
+  records_delivered_ = r.counter("rlir_scheduler_records_delivered_total", obs_.labels());
+  flows_aged_out_ = r.counter("rlir_scheduler_flows_aged_out_total", obs_.labels());
 }
 
 EpochScheduler::~EpochScheduler() { stop(); }
@@ -39,7 +44,7 @@ void EpochScheduler::add_epoch_hook(EpochHook hook) {
 void EpochScheduler::deliver_locked(std::uint32_t epoch,
                                     const std::vector<EstimateRecord>& batch) {
   if (batch.empty()) return;
-  records_delivered_ += batch.size();
+  records_delivered_->add(batch.size());
   for (const auto& sink : sinks_) sink(epoch, batch);
 }
 
@@ -48,8 +53,11 @@ std::uint32_t EpochScheduler::fire_locked() {
   for (const auto& hook : hooks_) hook(epoch);
   // Registration order, not exporter address order: batches are delivered in
   // a deterministic sequence run after run.
+  const std::uint64_t before = records_delivered_->value();
   for (auto* exporter : exporters_) deliver_locked(epoch, exporter->drain(epoch));
-  ++epochs_fired_;
+  epochs_fired_->increment();
+  obs_.trace().record(obs::EventKind::kEpochFlush, records_delivered_->value() - before,
+                      "epoch " + std::to_string(epoch));
   return epoch;
 }
 
@@ -67,7 +75,7 @@ void EpochScheduler::advance_to(timebase::TimePoint now) {
     // them.
     for (auto* exporter : exporters_) {
       const auto batch = exporter->evict_idle(now, config_.max_flow_idle, next_epoch_);
-      flows_aged_out_ += batch.size();
+      flows_aged_out_->add(batch.size());
       deliver_locked(next_epoch_, batch);
     }
   }
@@ -141,19 +149,12 @@ std::uint32_t EpochScheduler::next_epoch() const {
   return next_epoch_;
 }
 
-std::uint64_t EpochScheduler::epochs_fired() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return epochs_fired_;
-}
+std::uint64_t EpochScheduler::epochs_fired() const { return epochs_fired_->value(); }
 
 std::uint64_t EpochScheduler::records_delivered() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return records_delivered_;
+  return records_delivered_->value();
 }
 
-std::uint64_t EpochScheduler::flows_aged_out() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return flows_aged_out_;
-}
+std::uint64_t EpochScheduler::flows_aged_out() const { return flows_aged_out_->value(); }
 
 }  // namespace rlir::collect

@@ -29,6 +29,7 @@
 
 #include "collect/estimate_record.h"
 #include "collect/exporter.h"
+#include "obs/instrument.h"
 #include "timebase/time.h"
 
 namespace rlir::collect {
@@ -43,6 +44,9 @@ struct EpochSchedulerConfig {
   timebase::Duration max_flow_idle = timebase::Duration::zero();
   /// Index of the first epoch fired.
   std::uint32_t first_epoch = 0;
+  /// Observability attachment (see obs/instrument.h). Every fired epoch
+  /// leaves a kEpochFlush event carrying the records it delivered.
+  obs::Instruments instruments;
 };
 
 class EpochScheduler {
@@ -120,9 +124,13 @@ class EpochScheduler {
   std::uint32_t next_epoch_;
   timebase::TimePoint next_boundary_;
   timebase::TimePoint last_advance_;
-  std::uint64_t epochs_fired_ = 0;
-  std::uint64_t records_delivered_ = 0;
-  std::uint64_t flows_aged_out_ = 0;
+
+  obs::Instrumented obs_;
+  /// Counter cells replace the old plain members — same values, now
+  /// scrapeable; accessors read them without taking mu_.
+  obs::Counter* epochs_fired_ = nullptr;
+  obs::Counter* records_delivered_ = nullptr;
+  obs::Counter* flows_aged_out_ = nullptr;
 
   // Wall-clock driver state (separate mutex: stop() must be able to wake the
   // thread even while a firing holds mu_).

@@ -76,6 +76,11 @@ class LatencySketch {
   [[nodiscard]] const LatencySketchConfig& config() const { return config_; }
   [[nodiscard]] const BinMap& bins() const { return bins_; }
 
+  /// Representative value (within relative_accuracy) for a bin index from
+  /// bins() — what an exposition writer needs to turn bins into bucket
+  /// upper bounds.
+  [[nodiscard]] double bin_value(std::int32_t index) const { return value_for(index); }
+
   /// Rebuilds a sketch from serialized state (the estimate-record wire
   /// format). Count is derived from the bins; collapses if `bins` exceeds
   /// the config's budget.

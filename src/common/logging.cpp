@@ -1,6 +1,28 @@
 #include "common/logging.h"
 
+#include <mutex>
+#include <utility>
+
 namespace rlir::common {
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
+}
+
+}  // namespace
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
 
 namespace detail {
 
@@ -23,6 +45,11 @@ void log_line(LogLevel level, std::string_view msg) {
   std::ostringstream line;
   line << "[" << tag << "] " << msg << "\n";
   std::cerr << line.str();
+
+  // Sink runs under the mutex so uninstalling (set_log_sink({})) cannot
+  // race a call in flight — the sink's targets may be mid-destruction.
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_storage()) sink_storage()(level, msg);
 }
 
 }  // namespace detail

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -34,6 +35,14 @@ void log(LogLevel level, const Args&... args) {
 inline void set_log_threshold(LogLevel level) {
   detail::log_threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
+
+/// Observer for every emitted line (post-threshold), called with the level
+/// and unformatted message in addition to the stderr write. One global slot:
+/// installing replaces the previous sink, an empty function uninstalls.
+/// Invoked under an internal mutex — the sink must not log. Thread-safe;
+/// see obs::LogBridge for the standard registry/event-trace sink.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
 
 template <typename... Args>
 void log_debug(const Args&... args) { detail::log(LogLevel::kDebug, args...); }

@@ -1,0 +1,29 @@
+#include "obs/log_bridge.h"
+
+namespace rlir::obs {
+
+namespace {
+constexpr const char* kLevelNames[] = {"debug", "info", "warn", "error"};
+}
+
+LogBridge::LogBridge(MetricsRegistry& registry, EventTrace* trace) : trace_(trace) {
+  for (int i = 0; i < 4; ++i) {
+    by_level_[static_cast<std::size_t>(i)] =
+        registry.counter("rlir_log_lines_total", {{"level", kLevelNames[i]}});
+  }
+  // The lambda captures raw pointers; the destructor's set_log_sink({})
+  // synchronizes with any call in flight (the sink mutex), so they cannot
+  // dangle while invocable.
+  common::set_log_sink([this](common::LogLevel level, std::string_view msg) {
+    const int idx = static_cast<int>(level);
+    if (idx < 0 || idx > 3) return;
+    by_level_[static_cast<std::size_t>(idx)]->increment();
+    if (trace_ != nullptr && level >= common::LogLevel::kWarn) {
+      trace_->record(EventKind::kLog, static_cast<std::uint64_t>(idx), msg);
+    }
+  });
+}
+
+LogBridge::~LogBridge() { common::set_log_sink({}); }
+
+}  // namespace rlir::obs

@@ -1,0 +1,35 @@
+// Bridges common/logging into the observability tier (satellite of the obs
+// PR): every emitted log line bumps a per-level registry counter, and WARN+
+// lines land in the EventTrace as kLog events — so a post-mortem scrape
+// carries the log context alongside the protocol events.
+//
+// RAII over the single global log-sink slot: constructing installs,
+// destroying uninstalls (the sink dies before its registry/trace can).
+// One LogBridge at a time; constructing a second replaces the first's sink
+// and the first's destructor then clears it — keep exactly one alive.
+#pragma once
+
+#include <array>
+
+#include "common/logging.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+
+namespace rlir::obs {
+
+class LogBridge {
+ public:
+  /// Counters register as rlir_log_lines_total{level="debug"|...}. `trace`
+  /// may be null to count levels without tracing WARN+ lines.
+  LogBridge(MetricsRegistry& registry, EventTrace* trace);
+  ~LogBridge();
+
+  LogBridge(const LogBridge&) = delete;
+  LogBridge& operator=(const LogBridge&) = delete;
+
+ private:
+  std::array<Counter*, 4> by_level_{};  // kDebug..kError
+  EventTrace* trace_ = nullptr;
+};
+
+}  // namespace rlir::obs

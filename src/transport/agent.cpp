@@ -10,14 +10,35 @@
 
 namespace rlir::transport {
 
+namespace {
+
+/// The owned collector reports into the agent's registry/trace under the
+/// agent's own instance id (its series are named rlir_collect_*, so the
+/// shared id never collides).
+collect::ConcurrentCollectorConfig shared_obs_collector(
+    collect::ConcurrentCollectorConfig cfg, const obs::Instrumented& obs) {
+  cfg.instruments = obs.child(obs.id());
+  return cfg;
+}
+
+}  // namespace
+
 CollectorAgent::CollectorAgent(CollectorAgentConfig config)
-    : config_(config), collector_(config.collector) {
+    : config_(config),
+      obs_(config.instruments),
+      collector_(shared_obs_collector(config.collector, obs_)) {
   if (config_.io_chunk == 0) {
     throw std::invalid_argument("CollectorAgent: zero io_chunk");
   }
   if (config_.max_outbox_bytes == 0) {
     throw std::invalid_argument("CollectorAgent: zero max_outbox_bytes");
   }
+  auto& r = obs_.registry();
+  const obs::Labels base = obs_.labels();
+  c_.connections = r.gauge("rlir_agent_connections", base);
+  c_.connections_accepted = r.counter("rlir_agent_connections_accepted_total", base);
+  c_.connections_closed = r.counter("rlir_agent_connections_closed_total", base);
+  c_.batch_records = r.histogram("rlir_agent_batch_records", base);
 }
 
 void CollectorAgent::set_listener(std::unique_ptr<Listener> listener) {
@@ -29,6 +50,9 @@ void CollectorAgent::add_connection(std::unique_ptr<ByteStream> stream) {
   conn->stream = std::move(stream);
   connections_.push_back(std::move(conn));
   accepted_ += 1;
+  c_.connections_accepted->increment();
+  c_.connections->set(static_cast<std::int64_t>(connections_.size()));
+  obs_.trace().record(obs::EventKind::kConnect, accepted_, obs_.id());
 }
 
 std::size_t CollectorAgent::poll() {
@@ -48,10 +72,15 @@ std::size_t CollectorAgent::poll() {
   const auto alive_end = std::remove_if(
       connections_.begin(), connections_.end(),
       [this](const std::unique_ptr<Connection>& c) {
-        if (c->dead) closed_ += 1;
+        if (c->dead) {
+          closed_ += 1;
+          c_.connections_closed->increment();
+          obs_.trace().record(obs::EventKind::kDisconnect, closed_, obs_.id());
+        }
         return c->dead;
       });
   connections_.erase(alive_end, connections_.end());
+  c_.connections->set(static_cast<std::int64_t>(connections_.size()));
   return frames;
 }
 
@@ -72,12 +101,14 @@ std::size_t CollectorAgent::service(Connection& conn) {
   } catch (const FrameError&) {
     // Bad magic/version/type/CRC/length: the stream cannot be resynced.
     protocol_errors_ += 1;
+    obs_.trace().record(obs::EventKind::kCrcPoison, protocol_errors_, obs_.id());
     conn.stream->close();
     conn.dead = true;
   } catch (const std::runtime_error&) {
     // Framing was sound but a payload was corrupt (record batch or query
     // that fails its own format checks). Same verdict: drop the peer.
     protocol_errors_ += 1;
+    obs_.trace().record(obs::EventKind::kCrcPoison, protocol_errors_, obs_.id());
     conn.stream->close();
     conn.dead = true;
   }
@@ -96,6 +127,7 @@ void CollectorAgent::handle_frame(Connection& conn, const Frame& frame) {
         p += batch.bytes_consumed;
         remaining -= batch.bytes_consumed;
         batches_received_ += 1;
+        c_.batch_records->observe(static_cast<double>(batch.records.size()));
         if (!batch.records.empty()) collector_.submit(std::move(batch.records));
       }
       break;
@@ -128,6 +160,9 @@ void CollectorAgent::handle_frame(Connection& conn, const Frame& frame) {
           break;
         case QueryKind::kLinks:
           reply.links = collector_.link_distributions();
+          break;
+        case QueryKind::kMetrics:
+          reply.scrape = scrape();
           break;
       }
       const auto bytes = encode_frame(FrameType::kQueryReply, encode_reply(reply));
@@ -164,6 +199,17 @@ void CollectorAgent::flush_outbox(Connection& conn) {
   }
   conn.outbox.clear();
   conn.outbox_offset = 0;
+}
+
+obs::Scrape CollectorAgent::scrape() {
+  obs::Scrape s;
+  s.metrics = obs_.registry().snapshot();
+  // The AgentStats counters ride along as synthetic samples (field table):
+  // they live outside the registry, so this is their only identity — a
+  // coordinator merge sums them exactly like registry counters.
+  append_agent_stats(s.metrics, stats(), obs_.labels());
+  s.events = obs_.trace().snapshot();
+  return s;
 }
 
 AgentStats CollectorAgent::stats() {

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "collect/concurrent_collector.h"
+#include "obs/instrument.h"
+#include "obs/wire.h"
 #include "timebase/time.h"
 #include "transport/byte_stream.h"
 #include "transport/frame.h"
@@ -49,6 +51,9 @@ struct CollectorAgentConfig {
   /// every other allocation on the untrusted input path is bounded, and
   /// this keeps the outbox from being the exception. Must be > 0.
   std::size_t max_outbox_bytes = 8u << 20;
+  /// Observability attachment; shared with the owned collector. Null
+  /// members = the agent owns a private registry/trace.
+  obs::Instruments instruments;
 };
 
 class CollectorAgent {
@@ -81,6 +86,15 @@ class CollectorAgent {
   /// accounting).
   [[nodiscard]] AgentStats stats();
 
+  /// The full observability state a kMetrics reply (or a local --metrics
+  /// dump) carries: the registry snapshot, the AgentStats counters as
+  /// synthetic rlir_agent_* samples (field table), and the event trace.
+  [[nodiscard]] obs::Scrape scrape();
+
+  /// The registry/trace this agent (and its collector) report into.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return obs_.registry(); }
+  [[nodiscard]] obs::EventTrace& events() const { return obs_.trace(); }
+
   [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
   [[nodiscard]] std::uint64_t connections_accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t connections_closed() const { return closed_; }
@@ -103,16 +117,30 @@ class CollectorAgent {
   void flush_outbox(Connection& conn);
 
   CollectorAgentConfig config_;
+  /// Declared before collector_ so the agent's registry/trace exist when
+  /// the collector config is patched to share them.
+  obs::Instrumented obs_;
   collect::ConcurrentShardedCollector collector_;
   std::unique_ptr<Listener> listener_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
+  /// Protocol counters stay plain members (single poll thread): they are
+  /// served through the AgentStats field table at scrape time, so putting
+  /// them in the registry too would create duplicate metric identities.
   std::uint64_t accepted_ = 0;
   std::uint64_t closed_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t batches_received_ = 0;
   std::uint64_t queries_answered_ = 0;
   std::uint64_t protocol_errors_ = 0;
+
+  struct Cells {
+    obs::Gauge* connections;
+    obs::Counter* connections_accepted;
+    obs::Counter* connections_closed;
+    obs::Histogram* batch_records;
+  };
+  Cells c_{};
 };
 
 }  // namespace rlir::transport

@@ -9,7 +9,7 @@
 namespace rlir::transport {
 
 CollectorClient::CollectorClient(CollectorClientConfig config, StreamFactory factory)
-    : config_(config), factory_(std::move(factory)) {
+    : config_(config), factory_(std::move(factory)), obs_(config.instruments) {
   if (config_.max_buffered_bytes == 0 || config_.coalesce_bytes == 0) {
     throw std::invalid_argument("CollectorClient: zero buffer/coalesce size");
   }
@@ -19,9 +19,42 @@ CollectorClient::CollectorClient(CollectorClientConfig config, StreamFactory fac
   if (!factory_) {
     throw std::invalid_argument("CollectorClient: null stream factory");
   }
+  auto& r = obs_.registry();
+  const obs::Labels base = obs_.labels();
+  c_.batches_submitted = r.counter("rlir_client_batches_submitted_total", base);
+  c_.records_submitted = r.counter("rlir_client_records_submitted_total", base);
+  c_.frames_queued = r.counter("rlir_client_frames_queued_total", base);
+  c_.frames_sent = r.counter("rlir_client_frames_sent_total", base);
+  c_.bytes_sent = r.counter("rlir_client_bytes_sent_total", base);
+  c_.batch_frames_shed = r.counter("rlir_client_batch_frames_shed_total", base);
+  c_.records_shed = r.counter("rlir_client_records_shed_total", base);
+  c_.reconnects = r.counter("rlir_client_reconnects_total", base);
+  c_.connect_failures = r.counter("rlir_client_connect_failures_total", base);
+  c_.queries_sent = r.counter("rlir_client_queries_sent_total", base);
+  c_.replies_received = r.counter("rlir_client_replies_received_total", base);
+  c_.queries_lost = r.counter("rlir_client_queries_lost_total", base);
+  c_.buffered_bytes = r.gauge("rlir_client_buffered_bytes", base);
+  c_.frame_bytes = r.histogram("rlir_client_frame_bytes", base);
   // Eager first dial so a healthy deployment starts connected; failure just
   // arms the backoff like any later outage.
   ensure_connected();
+}
+
+CollectorClient::Stats CollectorClient::stats() const {
+  Stats s;
+  s.batches_submitted = c_.batches_submitted->value();
+  s.records_submitted = c_.records_submitted->value();
+  s.frames_queued = c_.frames_queued->value();
+  s.frames_sent = c_.frames_sent->value();
+  s.bytes_sent = c_.bytes_sent->value();
+  s.batch_frames_shed = c_.batch_frames_shed->value();
+  s.records_shed = c_.records_shed->value();
+  s.reconnects = c_.reconnects->value();
+  s.connect_failures = c_.connect_failures->value();
+  s.queries_sent = c_.queries_sent->value();
+  s.replies_received = c_.replies_received->value();
+  s.queries_lost = c_.queries_lost->value();
+  return s;
 }
 
 void CollectorClient::submit(std::uint32_t epoch,
@@ -33,8 +66,8 @@ void CollectorClient::submit(std::uint32_t epoch,
   const auto bytes = collect::encode_records(batch);
   coalescing_.insert(coalescing_.end(), bytes.begin(), bytes.end());
   coalescing_records_ += batch.size();
-  stats_.batches_submitted += 1;
-  stats_.records_submitted += batch.size();
+  c_.batches_submitted->increment();
+  c_.records_submitted->add(batch.size());
   if (coalescing_.size() >= config_.coalesce_bytes) seal_coalescing();
 }
 
@@ -52,10 +85,12 @@ void CollectorClient::seal_coalescing() {
 }
 
 void CollectorClient::enqueue(QueuedFrame frame) {
+  c_.frame_bytes->observe(static_cast<double>(frame.bytes.size()));
   buffered_bytes_ += frame.bytes.size();
   queue_.push_back(std::move(frame));
-  stats_.frames_queued += 1;
+  c_.frames_queued->increment();
   shed_to_cap();
+  c_.buffered_bytes->set(static_cast<std::int64_t>(buffered_bytes_));
 }
 
 void CollectorClient::shed_to_cap() {
@@ -69,8 +104,9 @@ void CollectorClient::shed_to_cap() {
       continue;
     }
     buffered_bytes_ -= queue_[i].bytes.size();
-    stats_.batch_frames_shed += 1;
-    stats_.records_shed += queue_[i].records;
+    c_.batch_frames_shed->increment();
+    c_.records_shed->add(queue_[i].records);
+    obs_.trace().record(obs::EventKind::kShed, queue_[i].records);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
@@ -82,6 +118,7 @@ bool CollectorClient::ensure_connected() {
     // resend the front frame whole on the next connection.
     stream_.reset();
     front_offset_ = 0;
+    obs_.trace().record(obs::EventKind::kDisconnect, 0, obs_.id());
     // A reply can't arrive on a new connection for a query sent on the old
     // one; surface the timeout instead of waiting forever. Queued query
     // frames die with the connection too: resending one would produce a
@@ -93,7 +130,7 @@ bool CollectorClient::ensure_connected() {
       // is in the queue (and only while its query is outstanding) — this is
       // exactly one loss however far the frame got.
       query_outstanding_ = false;
-      stats_.queries_lost += 1;
+      c_.queries_lost->increment();
     }
     for (std::size_t i = 0; i < queue_.size();) {
       if (queue_[i].is_batch) {
@@ -110,13 +147,18 @@ bool CollectorClient::ensure_connected() {
   }
   auto stream = factory_();
   if (stream == nullptr || stream->closed()) {
-    stats_.connect_failures += 1;
+    c_.connect_failures->increment();
     backoff_ = backoff_ == 0 ? config_.reconnect_backoff_initial
                              : std::min(backoff_ * 2, config_.reconnect_backoff_max);
     backoff_countdown_ = backoff_;
     return false;
   }
-  if (ever_connected_) stats_.reconnects += 1;
+  if (ever_connected_) {
+    c_.reconnects->increment();
+    obs_.trace().record(obs::EventKind::kReconnect, 0, obs_.id());
+  } else {
+    obs_.trace().record(obs::EventKind::kConnect, 0, obs_.id());
+  }
   ever_connected_ = true;
   stream_ = std::move(stream);
   backoff_ = 0;
@@ -140,12 +182,13 @@ std::size_t CollectorClient::pump() {
     front_offset_ += n;
     if (front_offset_ == front.bytes.size()) {
       buffered_bytes_ -= front.bytes.size();
-      stats_.frames_sent += 1;
+      c_.frames_sent->increment();
       queue_.pop_front();
       front_offset_ = 0;
     }
   }
-  stats_.bytes_sent += written;
+  c_.bytes_sent->add(written);
+  c_.buffered_bytes->set(static_cast<std::int64_t>(buffered_bytes_));
   return written;
 }
 
@@ -175,7 +218,7 @@ void CollectorClient::send_query(const Query& query) {
   frame.bytes = encode_frame(FrameType::kQuery, encode_query(query));
   enqueue(std::move(frame));
   query_outstanding_ = true;
-  stats_.queries_sent += 1;
+  c_.queries_sent->increment();
 }
 
 std::optional<QueryReply> CollectorClient::poll_reply() {
@@ -192,6 +235,7 @@ std::optional<QueryReply> CollectorClient::poll_reply() {
   } catch (const FrameError&) {
     // A peer speaking garbage is indistinguishable from corruption: drop
     // the connection (reconnect machinery takes over) and rethrow.
+    obs_.trace().record(obs::EventKind::kCrcPoison, 0, obs_.id());
     stream_->close();
     throw;
   }
@@ -201,7 +245,7 @@ std::optional<QueryReply> CollectorClient::poll_reply() {
     throw FrameError("CollectorClient: unexpected frame type from agent");
   }
   query_outstanding_ = false;
-  stats_.replies_received += 1;
+  c_.replies_received->increment();
   return decode_reply(frame->payload.data(), frame->payload.size());
 }
 
@@ -233,7 +277,7 @@ void CollectorClient::abandon_query() {
   }
   reply_decoder_ = FrameDecoder();
   query_outstanding_ = false;
-  stats_.queries_lost += 1;
+  c_.queries_lost->increment();
 }
 
 collect::EpochScheduler::BatchSink CollectorClient::make_sink() {

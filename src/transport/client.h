@@ -32,6 +32,7 @@
 
 #include "collect/epoch_scheduler.h"
 #include "collect/estimate_record.h"
+#include "obs/instrument.h"
 #include "transport/byte_stream.h"
 #include "transport/frame.h"
 #include "transport/messages.h"
@@ -54,6 +55,9 @@ struct CollectorClientConfig {
   std::uint32_t reconnect_backoff_max = 64;
   /// Per-pump() I/O granularity.
   std::size_t io_chunk = 64u << 10;
+  /// Observability attachment (see obs/instrument.h). Null members = the
+  /// client owns a private registry/trace; stats() works either way.
+  obs::Instruments instruments;
 };
 
 class CollectorClient {
@@ -154,9 +158,16 @@ class CollectorClient {
     /// connection would be mis-paired with the next query sent there).
     std::uint64_t queries_lost = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// A view over the registry cells (the registry is the single source of
+  /// truth; the struct exists for test ergonomics and API continuity).
+  [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] const CollectorClientConfig& config() const { return config_; }
+
+  /// The registry/trace this client reports into (its own unless shared via
+  /// config().instruments) — what a scraper reads.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return obs_.registry(); }
+  [[nodiscard]] obs::EventTrace& events() const { return obs_.trace(); }
 
  private:
   /// One queued frame; `records` lets shedding report what was lost.
@@ -194,7 +205,26 @@ class CollectorClient {
   FrameDecoder reply_decoder_;
   bool query_outstanding_ = false;
 
-  Stats stats_;
+  obs::Instrumented obs_;
+  /// Registry cells (stable pointers). Hot-path updates are one relaxed
+  /// atomic op each; stats() reads them back.
+  struct Cells {
+    obs::Counter* batches_submitted;
+    obs::Counter* records_submitted;
+    obs::Counter* frames_queued;
+    obs::Counter* frames_sent;
+    obs::Counter* bytes_sent;
+    obs::Counter* batch_frames_shed;
+    obs::Counter* records_shed;
+    obs::Counter* reconnects;
+    obs::Counter* connect_failures;
+    obs::Counter* queries_sent;
+    obs::Counter* replies_received;
+    obs::Counter* queries_lost;
+    obs::Gauge* buffered_bytes;
+    obs::Histogram* frame_bytes;
+  };
+  Cells c_{};
 };
 
 }  // namespace rlir::transport

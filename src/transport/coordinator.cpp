@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -61,29 +62,48 @@ std::vector<collect::RankedFlowSummary> merge_ranked_top_k(
 AgentStats merge_agent_stats(const std::vector<AgentStats>& parts) {
   AgentStats total;
   for (const auto& part : parts) {
-    total.records_ingested = saturating_add(total.records_ingested, part.records_ingested);
-    total.estimates_ingested =
-        saturating_add(total.estimates_ingested, part.estimates_ingested);
-    total.flows = saturating_add(total.flows, part.flows);
-    total.epochs = saturating_add(total.epochs, part.epochs);
-    total.frames_received = saturating_add(total.frames_received, part.frames_received);
-    total.batches_received = saturating_add(total.batches_received, part.batches_received);
-    total.queries_answered = saturating_add(total.queries_answered, part.queries_answered);
-    total.protocol_errors = saturating_add(total.protocol_errors, part.protocol_errors);
+    for (const auto& field : kAgentStatsFields) {
+      total.*(field.member) = saturating_add(total.*(field.member), part.*(field.member));
+    }
   }
   return total;
 }
 
+obs::Scrape merge_scrapes(const std::vector<obs::Scrape>& parts) {
+  obs::Scrape merged;
+  std::vector<obs::MetricsSnapshot> snaps;
+  snaps.reserve(parts.size());
+  for (const auto& part : parts) {
+    snaps.push_back(part.metrics);
+    for (std::size_t i = 0; i < obs::kEventKindCount; ++i) {
+      merged.events.counts[i] = saturating_add(merged.events.counts[i], part.events.counts[i]);
+    }
+    merged.events.dropped = saturating_add(merged.events.dropped, part.events.dropped);
+  }
+  merged.metrics = obs::merge_snapshots(snaps);
+  return merged;
+}
+
 // --- The coordinator -------------------------------------------------------
 
-QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config) : config_(config) {
+QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config)
+    : config_(config), obs_(config.instruments) {
   if (config_.reply_rounds == 0) {
     throw std::invalid_argument("QueryCoordinator: zero reply_rounds");
   }
+  auto& r = obs_.registry();
+  const obs::Labels base = obs_.labels();
+  c_.queries_sent = r.counter("rlir_coord_queries_sent_total", base);
+  c_.replies_merged = r.counter("rlir_coord_replies_merged_total", base);
+  c_.agent_failures = r.counter("rlir_coord_agent_failures_total", base);
 }
 
 std::size_t QueryCoordinator::add_agent(StreamFactory factory) {
-  clients_.push_back(std::make_unique<CollectorClient>(config_.client, std::move(factory)));
+  // Agent-facing clients share the coordinator's registry/trace under child
+  // ids, so the coordinator's own scrape shows per-agent-link health.
+  CollectorClientConfig cfg = config_.client;
+  cfg.instruments = obs_.child("agent" + std::to_string(clients_.size()));
+  clients_.push_back(std::make_unique<CollectorClient>(cfg, std::move(factory)));
   return clients_.size() - 1;
 }
 
@@ -99,7 +119,7 @@ CollectorClient& QueryCoordinator::client(std::size_t agent) { return *clients_.
 
 std::optional<QueryReply> QueryCoordinator::ask(std::size_t agent, const Query& query) {
   CollectorClient& c = *clients_[agent];
-  stats_.queries_sent += 1;
+  c_.queries_sent->increment();
   c.send_query(query);
   for (std::size_t round = 0; round < config_.reply_rounds; ++round) {
     c.pump();
@@ -112,16 +132,16 @@ std::optional<QueryReply> QueryCoordinator::ask(std::size_t agent, const Query& 
       // connection (reconnect machinery takes over); this fan-out misses
       // the agent. Abandon so the next fan-out can send a fresh query.
       c.abandon_query();
-      stats_.agent_failures += 1;
+      c_.agent_failures->increment();
       return std::nullopt;
     }
     if (reply.has_value()) {
-      stats_.replies_merged += 1;
+      c_.replies_merged->increment();
       return reply;
     }
     if (!c.query_outstanding()) {
       // The connection died under the query; the client discarded it.
-      stats_.agent_failures += 1;
+      c_.agent_failures->increment();
       return std::nullopt;
     }
     if (!drive_) std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -129,7 +149,7 @@ std::optional<QueryReply> QueryCoordinator::ask(std::size_t agent, const Query& 
   // Reply never came: abandon (drops the connection so a late reply can't
   // mis-pair with the next fan-out's query) and report the miss.
   c.abandon_query();
-  stats_.agent_failures += 1;
+  c_.agent_failures->increment();
   return std::nullopt;
 }
 
@@ -235,6 +255,36 @@ AgentStats QueryCoordinator::fleet_stats() {
     if (stats.has_value()) parts.push_back(*stats);
   }
   return merge_agent_stats(parts);
+}
+
+std::vector<std::optional<obs::Scrape>> QueryCoordinator::per_agent_scrapes() {
+  Query q;
+  q.kind = QueryKind::kMetrics;
+  std::vector<std::optional<obs::Scrape>> scrapes;
+  for (auto& reply : fan_out(q)) {
+    if (reply.has_value()) {
+      scrapes.push_back(std::move(reply->scrape));
+    } else {
+      scrapes.push_back(std::nullopt);
+    }
+  }
+  return scrapes;
+}
+
+obs::Scrape QueryCoordinator::fleet_metrics() {
+  std::vector<obs::Scrape> parts;
+  for (auto& scrape : per_agent_scrapes()) {
+    if (scrape.has_value()) parts.push_back(std::move(*scrape));
+  }
+  return merge_scrapes(parts);
+}
+
+QueryCoordinator::Stats QueryCoordinator::stats() const {
+  Stats s;
+  s.queries_sent = c_.queries_sent->value();
+  s.replies_merged = c_.replies_merged->value();
+  s.agent_failures = c_.agent_failures->value();
+  return s;
 }
 
 }  // namespace rlir::transport

@@ -40,6 +40,8 @@
 #include "collect/sharded_collector.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
+#include "obs/instrument.h"
+#include "obs/wire.h"
 #include "transport/client.h"
 #include "transport/messages.h"
 
@@ -78,8 +80,17 @@ using FlowResolver =
   return sum < a ? ~std::uint64_t{0} : sum;
 }
 
-/// Field-wise saturating sum of agent counter replies.
+/// Field-wise saturating sum of agent counter replies. Driven by the
+/// kAgentStatsFields table (messages.h), so a field added there merges —
+/// and round-trips the kStats codec — without touching this function.
 [[nodiscard]] AgentStats merge_agent_stats(const std::vector<AgentStats>& parts);
+
+/// Fleet roll-up of per-agent scrapes: counters sum (saturating), gauges
+/// max, histograms sketch-union (obs::merge_snapshots); event COUNTS and
+/// drops sum element-wise, while the merged `events.events` list stays
+/// empty — per-event detail belongs to the per-agent breakdown, not the
+/// roll-up.
+[[nodiscard]] obs::Scrape merge_scrapes(const std::vector<obs::Scrape>& parts);
 
 // --- The coordinator -------------------------------------------------------
 
@@ -91,6 +102,9 @@ struct QueryCoordinatorConfig {
   /// unreachable for this fan-out. With a drive hook each round is one
   /// drive; without one each round sleeps ~100us (socket deployments).
   std::size_t reply_rounds = 20000;
+  /// Observability attachment (see obs/instrument.h). Agent-facing clients
+  /// report into the same registry/trace under child ids "agent0", ...
+  obs::Instruments instruments;
 };
 
 class QueryCoordinator {
@@ -138,6 +152,14 @@ class QueryCoordinator {
   /// Saturating field-wise sum over the agents that answered.
   [[nodiscard]] AgentStats fleet_stats();
 
+  /// Per-agent metric/event scrapes (kMetrics fan-out); nullopt for agents
+  /// that didn't answer.
+  [[nodiscard]] std::vector<std::optional<obs::Scrape>> per_agent_scrapes();
+  /// The reachable fleet's merged scrape (merge_scrapes over the answers):
+  /// counters sum, gauges max, histograms union bin-for-bin, event counts
+  /// sum. Equals the element-wise merge of per_agent_scrapes().
+  [[nodiscard]] obs::Scrape fleet_metrics();
+
   // --- Introspection -------------------------------------------------------
 
   [[nodiscard]] std::size_t agent_count() const { return clients_.size(); }
@@ -151,7 +173,14 @@ class QueryCoordinator {
     /// error on the reply path (the connection is dropped and re-dialed).
     std::uint64_t agent_failures = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Built from the registry cells (rlir_coord_*) — a view, not stored state.
+  [[nodiscard]] Stats stats() const;
+
+  /// The coordinator's OWN registry/trace (its fan-out counters and the
+  /// agent-facing clients' series) — distinct from fleet_metrics(), which
+  /// scrapes the agents.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return obs_.registry(); }
+  [[nodiscard]] obs::EventTrace& events() { return obs_.trace(); }
 
   [[nodiscard]] const QueryCoordinatorConfig& config() const { return config_; }
 
@@ -163,9 +192,15 @@ class QueryCoordinator {
   [[nodiscard]] std::vector<std::optional<QueryReply>> fan_out(const Query& query);
 
   QueryCoordinatorConfig config_;
+  obs::Instrumented obs_;
   std::vector<std::unique_ptr<CollectorClient>> clients_;
   std::function<void()> drive_;
-  Stats stats_;
+  /// Registry cells backing Stats (names rlir_coord_<field>_total).
+  struct Cells {
+    obs::Counter* queries_sent = nullptr;
+    obs::Counter* replies_merged = nullptr;
+    obs::Counter* agent_failures = nullptr;
+  } c_{};
 };
 
 }  // namespace rlir::transport

@@ -1,11 +1,13 @@
 #include "transport/messages.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "collect/estimate_record.h"
 #include "common/wire.h"
 #include "net/ipv4.h"
+#include "obs/exposition.h"
 
 namespace rlir::transport {
 
@@ -43,10 +45,18 @@ net::FiveTuple take_tuple(const std::uint8_t*& p) {
 
 [[nodiscard]] bool known_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(QueryKind::kFleet) &&
-         k <= static_cast<std::uint8_t>(QueryKind::kLinks);
+         k <= static_cast<std::uint8_t>(QueryKind::kMetrics);
 }
 
 }  // namespace
+
+void append_agent_stats(obs::MetricsSnapshot& snap, const AgentStats& stats,
+                        const obs::Labels& base_labels) {
+  for (const auto& field : kAgentStatsFields) {
+    obs::append_counter(snap, std::string("rlir_agent_") + field.name + "_total",
+                        base_labels, stats.*(field.member));
+  }
+}
 
 std::vector<std::uint8_t> encode_query(const Query& query) {
   std::vector<std::uint8_t> buf(kQuerySize);
@@ -89,7 +99,7 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
       body = 1 + 8;
       break;
     case QueryKind::kStats:
-      body = 8 * 8;
+      body = kAgentStatsFieldCount * 8;
       break;
     case QueryKind::kFlowSketch:
       body = 1 + (reply.flow_sketch.has_value() ? collect::sketch_wire_size(*reply.flow_sketch)
@@ -101,6 +111,9 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
         (void)link;
         body += 4 + collect::sketch_wire_size(sketch);
       }
+      break;
+    case QueryKind::kMetrics:
+      body = obs::scrape_wire_size(reply.scrape);
       break;
   }
   std::vector<std::uint8_t> buf(1 + body);
@@ -127,14 +140,10 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
       put_f64(p, reply.quantile.value_or(0.0));
       break;
     case QueryKind::kStats:
-      put<std::uint64_t>(p, reply.stats.records_ingested);
-      put<std::uint64_t>(p, reply.stats.estimates_ingested);
-      put<std::uint64_t>(p, reply.stats.flows);
-      put<std::uint64_t>(p, reply.stats.epochs);
-      put<std::uint64_t>(p, reply.stats.frames_received);
-      put<std::uint64_t>(p, reply.stats.batches_received);
-      put<std::uint64_t>(p, reply.stats.queries_answered);
-      put<std::uint64_t>(p, reply.stats.protocol_errors);
+      // Field-table order IS the wire order; see kAgentStatsFields.
+      for (const auto& field : kAgentStatsFields) {
+        put<std::uint64_t>(p, reply.stats.*(field.member));
+      }
       break;
     case QueryKind::kFlowSketch:
       put<std::uint8_t>(p, reply.flow_sketch.has_value() ? 1 : 0);
@@ -147,6 +156,15 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
         collect::encode_sketch(p, sketch);
       }
       break;
+    case QueryKind::kMetrics: {
+      // The scrape codec appends to a vector; bridge into the pre-sized
+      // frame buffer (scrapes are query-plane-sized, the copy is noise).
+      std::vector<std::uint8_t> segment;
+      obs::encode_scrape(segment, reply.scrape);
+      std::memcpy(p, segment.data(), segment.size());
+      p += segment.size();
+      break;
+    }
   }
   return buf;
 }
@@ -196,15 +214,12 @@ QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
       break;
     }
     case QueryKind::kStats:
-      if (end - p < 8 * 8) throw std::runtime_error("QueryReply: truncated stats");
-      reply.stats.records_ingested = take<std::uint64_t>(p);
-      reply.stats.estimates_ingested = take<std::uint64_t>(p);
-      reply.stats.flows = take<std::uint64_t>(p);
-      reply.stats.epochs = take<std::uint64_t>(p);
-      reply.stats.frames_received = take<std::uint64_t>(p);
-      reply.stats.batches_received = take<std::uint64_t>(p);
-      reply.stats.queries_answered = take<std::uint64_t>(p);
-      reply.stats.protocol_errors = take<std::uint64_t>(p);
+      if (static_cast<std::size_t>(end - p) < kAgentStatsFieldCount * 8) {
+        throw std::runtime_error("QueryReply: truncated stats");
+      }
+      for (const auto& field : kAgentStatsFields) {
+        reply.stats.*(field.member) = take<std::uint64_t>(p);
+      }
       break;
     case QueryKind::kFlowSketch: {
       if (end - p < 1) throw std::runtime_error("QueryReply: truncated flow-sketch flag");
@@ -226,6 +241,9 @@ QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
       }
       break;
     }
+    case QueryKind::kMetrics:
+      reply.scrape = obs::decode_scrape(p, end);
+      break;
   }
   if (p != end) throw std::runtime_error("QueryReply: trailing bytes");
   return reply;

@@ -13,18 +13,23 @@
 //     kTopK         -> u32 count | count x (f64 rank | 5-tuple | u64 packets
 //                      | f64 mean | f64 p50 | f64 p99 | f64 max)
 //     kFlowQuantile -> u8 present | f64 value
-//     kStats        -> 8 x u64 (see AgentStats)
+//     kStats        -> 8 x u64 (see AgentStats; field order = the field
+//                      table, kAgentStatsFields)
 //     kFlowSketch   -> u8 present | sketch segment (when present)
 //     kLinks        -> u32 count | count x (u32 link | sketch segment)
+//     kMetrics      -> obs scrape segment (see obs/wire.h)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <vector>
 
 #include "collect/sharded_collector.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
+#include "obs/wire.h"
 
 namespace rlir::transport {
 
@@ -44,6 +49,10 @@ enum class QueryKind : std::uint8_t {
   kFlowSketch = 5,
   /// Every vantage (link) with data, each with its merged distribution.
   kLinks = 6,
+  /// The agent's full observability scrape: registry metrics (incl. the
+  /// AgentStats counters as synthetic samples), plus the event trace —
+  /// what a remote scraper or a coordinator roll-up reads.
+  kMetrics = 7,
 };
 
 struct Query {
@@ -68,6 +77,40 @@ struct AgentStats {
   std::uint64_t protocol_errors = 0;
 };
 
+/// One AgentStats field: its exposition name stem and member pointer.
+struct AgentStatsField {
+  const char* name;
+  std::uint64_t AgentStats::* member;
+};
+
+/// THE field table — single source of truth for every AgentStats consumer:
+/// the kStats wire codec, the coordinator's merge_agent_stats, and the
+/// exposition writer all iterate this, so adding a field to AgentStats
+/// means adding exactly one row here (the static_asserts below refuse to
+/// compile a struct/table mismatch).
+inline constexpr AgentStatsField kAgentStatsFields[] = {
+    {"records_ingested", &AgentStats::records_ingested},
+    {"estimates_ingested", &AgentStats::estimates_ingested},
+    {"flows", &AgentStats::flows},
+    {"epochs", &AgentStats::epochs},
+    {"frames_received", &AgentStats::frames_received},
+    {"batches_received", &AgentStats::batches_received},
+    {"queries_answered", &AgentStats::queries_answered},
+    {"protocol_errors", &AgentStats::protocol_errors},
+};
+inline constexpr std::size_t kAgentStatsFieldCount = std::size(kAgentStatsFields);
+/// Every field is a u64 and every u64 is in the table — a new member that
+/// misses the table changes sizeof and fails here.
+static_assert(sizeof(AgentStats) == kAgentStatsFieldCount * sizeof(std::uint64_t),
+              "AgentStats has a field missing from kAgentStatsFields");
+
+/// Folds the stats into a snapshot as synthetic counters named
+/// rlir_agent_<field>_total — the scrape-time bridge that keeps these
+/// counters out of the registry (no duplicate identity) while still
+/// merging fleet-wide like registry counters.
+void append_agent_stats(obs::MetricsSnapshot& snap, const AgentStats& stats,
+                        const obs::Labels& base_labels = {});
+
 struct QueryReply {
   QueryKind kind = QueryKind::kFleet;
   common::LatencySketch fleet;                      // kFleet
@@ -77,6 +120,7 @@ struct QueryReply {
   std::optional<common::LatencySketch> flow_sketch; // kFlowSketch
   /// kLinks: link id -> merged distribution, ascending by link.
   std::vector<std::pair<collect::LinkId, common::LatencySketch>> links;
+  obs::Scrape scrape;                               // kMetrics
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const Query& query);

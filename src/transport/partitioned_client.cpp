@@ -1,19 +1,28 @@
 #include "transport/partitioned_client.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "net/hash.h"
 
 namespace rlir::transport {
 
-PartitionedClient::PartitionedClient(PartitionedClientConfig config) : config_(config) {
+PartitionedClient::PartitionedClient(PartitionedClientConfig config)
+    : config_(config), obs_(config.instruments) {
   if (config_.slot_count == 0) {
     throw std::invalid_argument("PartitionedClient: zero slot_count");
   }
   if (config_.down_after_pumps == 0) {
     throw std::invalid_argument("PartitionedClient: zero down_after_pumps");
   }
+  auto& r = obs_.registry();
+  const obs::Labels base = obs_.labels();
+  c_.records_submitted = r.counter("rlir_pc_records_submitted_total", base);
+  c_.batches_submitted = r.counter("rlir_pc_batches_submitted_total", base);
+  c_.rebalances = r.counter("rlir_pc_rebalances_total", base);
+  c_.recoveries = r.counter("rlir_pc_recoveries_total", base);
+  c_.slots_reassigned = r.counter("rlir_pc_slots_reassigned_total", base);
 }
 
 std::size_t PartitionedClient::add_endpoint(StreamFactory factory) {
@@ -22,7 +31,11 @@ std::size_t PartitionedClient::add_endpoint(StreamFactory factory) {
         "PartitionedClient: endpoints are fixed after the first submit/pump");
   }
   Endpoint ep;
-  ep.client = std::make_unique<CollectorClient>(config_.client, std::move(factory));
+  // Endpoint clients share the registry/trace under child ids, so one scrape
+  // shows every endpoint's counters side by side (rlir_client_*{instance=...}).
+  CollectorClientConfig cfg = config_.client;
+  cfg.instruments = obs_.child("ep" + std::to_string(endpoints_.size()));
+  ep.client = std::make_unique<CollectorClient>(cfg, std::move(factory));
   endpoints_.push_back(std::move(ep));
   return endpoints_.size() - 1;
 }
@@ -89,8 +102,8 @@ void PartitionedClient::submit(std::uint32_t epoch,
     endpoints_[e].records_routed += split_[e].size();
     split_[e].clear();
   }
-  stats_.records_submitted += batch.size();
-  stats_.batches_submitted += 1;
+  c_.records_submitted->add(batch.size());
+  c_.batches_submitted->increment();
 }
 
 void PartitionedClient::flush() {
@@ -113,8 +126,10 @@ void PartitionedClient::update_health(std::size_t endpoint) {
     ep.failed_pumps = 0;
     if (!ep.healthy) {
       ep.healthy = true;
-      stats_.recoveries += 1;
-      recompute_slots();
+      c_.recoveries->increment();
+      const std::uint64_t moved = recompute_slots();
+      obs_.trace().record(obs::EventKind::kFailBack, moved,
+                          "ep" + std::to_string(endpoint));
     }
     return;
   }
@@ -122,12 +137,14 @@ void PartitionedClient::update_health(std::size_t endpoint) {
   ep.failed_pumps += 1;
   if (ep.failed_pumps >= config_.down_after_pumps) {
     ep.healthy = false;
-    stats_.rebalances += 1;
-    recompute_slots();
+    c_.rebalances->increment();
+    const std::uint64_t moved = recompute_slots();
+    obs_.trace().record(obs::EventKind::kRebalance, moved,
+                        "ep" + std::to_string(endpoint));
   }
 }
 
-void PartitionedClient::recompute_slots() {
+std::uint64_t PartitionedClient::recompute_slots() {
   std::vector<std::size_t> healthy;
   for (std::size_t e = 0; e < endpoints_.size(); ++e) {
     if (endpoints_[e].healthy) healthy.push_back(e);
@@ -135,7 +152,7 @@ void PartitionedClient::recompute_slots() {
   // All endpoints down: leave the table alone. Records keep queueing in
   // their home clients (bounded by the buffer cap, shed oldest-first) and
   // flow again wherever endpoints come back.
-  if (healthy.empty()) return;
+  if (healthy.empty()) return 0;
   std::uint64_t moved = 0;
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     const std::size_t home = s % endpoints_.size();
@@ -146,7 +163,8 @@ void PartitionedClient::recompute_slots() {
       moved += 1;
     }
   }
-  stats_.slots_reassigned += moved;
+  c_.slots_reassigned->add(moved);
+  return moved;
 }
 
 bool PartitionedClient::drain(std::size_t max_pumps) {
@@ -171,6 +189,16 @@ collect::EpochScheduler::BatchSink PartitionedClient::make_sink() {
     submit(epoch, batch);
     pump();
   };
+}
+
+PartitionedClient::Stats PartitionedClient::stats() const {
+  Stats s;
+  s.records_submitted = c_.records_submitted->value();
+  s.batches_submitted = c_.batches_submitted->value();
+  s.rebalances = c_.rebalances->value();
+  s.recoveries = c_.recoveries->value();
+  s.slots_reassigned = c_.slots_reassigned->value();
+  return s;
 }
 
 std::uint64_t PartitionedClient::records_routed(std::size_t endpoint) const {

@@ -56,6 +56,11 @@ struct PartitionedClientConfig {
   /// and its slots are reassigned. Counted in pumps (like the client's
   /// backoff) so fault handling is deterministic under test. Must be > 0.
   std::uint32_t down_after_pumps = 4;
+  /// Observability attachment (see obs/instrument.h). Endpoint clients
+  /// report into the same registry/trace under child ids "ep0", "ep1", ...;
+  /// rebalances leave kRebalance / kFailBack events carrying the slot count
+  /// that moved.
+  obs::Instruments instruments;
 };
 
 class PartitionedClient {
@@ -126,7 +131,12 @@ class PartitionedClient {
     /// Slot ownership changes across all recomputes.
     std::uint64_t slots_reassigned = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Built from the registry cells (rlir_pc_*) — a view, not stored state.
+  [[nodiscard]] Stats stats() const;
+
+  /// The registry/trace this client (and its endpoint clients) report into.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return obs_.registry(); }
+  [[nodiscard]] obs::EventTrace& events() { return obs_.trace(); }
 
   /// Records routed to one endpoint since construction (conservation:
   /// these sum to stats().records_submitted).
@@ -150,18 +160,26 @@ class PartitionedClient {
   void seal();
   /// Re-derives the slot table from current endpoint health: a slot lives
   /// with its home endpoint (slot % endpoints) when that is healthy, else
-  /// with a deterministic healthy stand-in. Counts ownership changes.
-  void recompute_slots();
+  /// with a deterministic healthy stand-in. Returns ownership changes.
+  std::uint64_t recompute_slots();
   void update_health(std::size_t endpoint);
 
   PartitionedClientConfig config_;
+  obs::Instrumented obs_;
   std::vector<Endpoint> endpoints_;
   /// slot -> owning endpoint index.
   std::vector<std::size_t> slots_;
   /// Scratch for submit()'s per-endpoint split (reused across calls).
   std::vector<std::vector<collect::EstimateRecord>> split_;
   bool sealed_ = false;
-  Stats stats_;
+  /// Registry cells backing Stats (names rlir_pc_<field>_total).
+  struct Cells {
+    obs::Counter* records_submitted = nullptr;
+    obs::Counter* batches_submitted = nullptr;
+    obs::Counter* rebalances = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* slots_reassigned = nullptr;
+  } c_{};
 };
 
 }  // namespace rlir::transport

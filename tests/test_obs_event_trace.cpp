@@ -1,0 +1,141 @@
+// EventTrace: bounded ring semantics (most-recent kept, dropped counted,
+// per-kind totals survive eviction), plus the LogBridge satellite — log
+// lines bump per-level counters and WARN+ lines land in the trace as kLog
+// events, with clean uninstall.
+#include "obs/event_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+#include "obs/log_bridge.h"
+#include "obs/metrics.h"
+
+namespace rlir::obs {
+namespace {
+
+TEST(EventTrace, RecordsInOrderWithCounts) {
+  EventTrace trace(8);
+  trace.record(EventKind::kConnect, 1, "ep0");
+  trace.record(EventKind::kShed, 42, "lane3");
+  trace.record(EventKind::kConnect, 2);
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.events[0].kind, EventKind::kConnect);
+  EXPECT_EQ(snap.events[1].kind, EventKind::kShed);
+  EXPECT_EQ(snap.events[1].value, 42u);
+  EXPECT_EQ(snap.events[1].detail, "lane3");
+  EXPECT_EQ(snap.count(EventKind::kConnect), 2u);
+  EXPECT_EQ(snap.count(EventKind::kShed), 1u);
+  EXPECT_EQ(snap.count(EventKind::kRebalance), 0u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_GT(snap.events[0].ts_ns, 0);
+}
+
+TEST(EventTrace, RingEvictsOldestAndCountsDrops) {
+  EventTrace trace(4);
+  for (std::uint64_t i = 0; i < 10; ++i) trace.record(EventKind::kEpochFlush, i);
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.events.size(), 4u);
+  // Most recent survive: values 6..9.
+  EXPECT_EQ(snap.events.front().value, 6u);
+  EXPECT_EQ(snap.events.back().value, 9u);
+  EXPECT_EQ(snap.dropped, 6u);
+  // The per-kind total still sees every event ever recorded.
+  EXPECT_EQ(snap.count(EventKind::kEpochFlush), 10u);
+  EXPECT_EQ(trace.count(EventKind::kEpochFlush), 10u);
+}
+
+TEST(EventTrace, DetailTruncatedToCap) {
+  EventTrace trace;
+  trace.record(EventKind::kLog, 0, std::string(500, 'x'));
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.events[0].detail.size(), EventTrace::kMaxDetail);
+}
+
+TEST(EventTrace, ZeroCapacityClampsToOne) {
+  EventTrace trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  trace.record(EventKind::kConnect);
+  trace.record(EventKind::kDisconnect);
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.events[0].kind, EventKind::kDisconnect);
+}
+
+TEST(EventKindNames, AllKindsNamed) {
+  for (std::size_t i = 1; i <= kEventKindCount; ++i) {
+    const char* name = event_kind_name(static_cast<EventKind>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+class LogBridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = common::log_threshold();
+    common::set_log_threshold(common::LogLevel::kDebug);
+  }
+  void TearDown() override { common::set_log_threshold(saved_threshold_); }
+
+ private:
+  common::LogLevel saved_threshold_;
+};
+
+TEST_F(LogBridgeTest, CountsPerLevelAndTracesWarnPlus) {
+  MetricsRegistry registry;
+  EventTrace trace;
+  LogBridge bridge(registry, &trace);
+
+  common::log_debug("noise");
+  common::log_info("fyi");
+  common::log_warn("queue ", 3, " backing up");
+  common::log_error("stream died");
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 4u);  // one counter per level
+  std::uint64_t total = 0;
+  for (const auto& sample : snap.samples) {
+    EXPECT_EQ(sample.name, "rlir_log_lines_total");
+    total += sample.counter;
+  }
+  EXPECT_EQ(total, 4u);
+
+  // Only WARN+ reach the trace, with the formatted message as detail.
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.count(EventKind::kLog), 2u);
+  ASSERT_EQ(events.events.size(), 2u);
+  EXPECT_EQ(events.events[0].detail, "queue 3 backing up");
+  EXPECT_EQ(events.events[1].detail, "stream died");
+}
+
+TEST_F(LogBridgeTest, ThresholdStillFiltersBeforeTheBridge) {
+  MetricsRegistry registry;
+  LogBridge bridge(registry, nullptr);
+  common::set_log_threshold(common::LogLevel::kError);
+  common::log_warn("suppressed");
+  common::log_error("counted");
+  std::uint64_t total = 0;
+  for (const auto& sample : registry.snapshot().samples) total += sample.counter;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST_F(LogBridgeTest, DestructorUninstallsSink) {
+  MetricsRegistry registry;
+  {
+    LogBridge bridge(registry, nullptr);
+    common::log_error("while installed");
+  }
+  // After the bridge is gone the counters must not move (a dangling sink
+  // would crash or corrupt here).
+  common::log_error("after uninstall");
+  std::uint64_t total = 0;
+  for (const auto& sample : registry.snapshot().samples) total += sample.counter;
+  EXPECT_EQ(total, 1u);
+}
+
+}  // namespace
+}  // namespace rlir::obs

@@ -1,0 +1,298 @@
+// The observability tier's acceptance bar, end to end: a 4-agent
+// partitioned fleet runs the standard workload, one agent is killed
+// mid-stream, and the coordinator's kMetrics fan-out must deliver
+//
+//   (a) per-agent scrapes for every survivor (nullopt for the victim);
+//   (b) a merged fleet scrape that IS the sum/union of the per-agent
+//       scrapes — counters summed exactly, histograms unioned bin-for-bin,
+//       event counts summed — and whose ingest totals match the agents'
+//       ground truth;
+//   (c) the fault visible in the event traces: the partitioned client's
+//       shared trace carries the kDisconnect and kRebalance the kill
+//       caused, and every surviving agent's trace carries its connects.
+//
+// Plus the AgentStats field-table regression: every field round-trips
+// through the kStats wire codec, merge_agent_stats, and the scrape
+// exposition — driven by kAgentStatsFields so a new field cannot dodge any
+// of the three.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault_stream.h"
+#include "fleet_workload.h"
+#include "obs/metrics.h"
+#include "obs/wire.h"
+#include "transport/agent.h"
+#include "transport/coordinator.h"
+#include "transport/messages.h"
+#include "transport/partitioned_client.h"
+
+namespace rlir {
+namespace {
+
+using transport::testutil::FaultPlan;
+using transport::testutil::FaultyByteStream;
+
+constexpr std::size_t kAgents = 4;
+constexpr std::size_t kVictim = 2;
+
+struct KillableFleet {
+  KillableFleet() : alive(kAgents, true), conns(kAgents, nullptr) {
+    transport::CollectorAgentConfig cfg;
+    cfg.collector.shard_count = testutil::kWorkloadShards;
+    for (std::size_t i = 0; i < kAgents; ++i) {
+      agents.push_back(std::make_unique<transport::CollectorAgent>(cfg));
+    }
+  }
+
+  transport::CollectorClient::StreamFactory factory(std::size_t i) {
+    return [this, i]() -> std::unique_ptr<transport::ByteStream> {
+      if (!alive[i]) return nullptr;
+      auto [client_end, agent_end] = transport::make_loopback();
+      agents[i]->add_connection(std::move(agent_end));
+      auto wrapped = std::make_unique<FaultyByteStream>(std::move(client_end), FaultPlan{});
+      conns[i] = wrapped.get();
+      return wrapped;
+    };
+  }
+
+  void kill(std::size_t i) {
+    alive[i] = false;
+    conns[i]->cut_now();
+  }
+
+  void poll_all() {
+    for (std::size_t i = 0; i < kAgents; ++i) {
+      if (alive[i]) agents[i]->poll();
+    }
+  }
+
+  std::vector<std::unique_ptr<transport::CollectorAgent>> agents;
+  std::vector<bool> alive;
+  std::vector<FaultyByteStream*> conns;
+};
+
+/// Identity key for hand-rolled merge verification.
+std::string sample_key(const obs::MetricSample& s) {
+  std::string key = s.name;
+  for (const auto& [k, v] : s.labels) key += "|" + k + "=" + v;
+  return key;
+}
+
+TEST(ObsFleetE2E, MergedFleetScrapeIsSumOfPerAgentScrapesUnderAgentKill) {
+  KillableFleet fleet;
+  transport::PartitionedClientConfig cfg;
+  cfg.down_after_pumps = 2;
+  transport::PartitionedClient pc(cfg);
+  for (std::size_t i = 0; i < kAgents; ++i) pc.add_endpoint(fleet.factory(i));
+  pc.pump();
+
+  int steps = 0;
+  bool killed = false;
+  testutil::run_fleet_workload({pc.make_sink()}, [&] {
+    pc.pump();
+    fleet.poll_all();
+    if (!killed && ++steps == 12) {
+      for (int i = 0; i < 200 && !pc.drain(8); ++i) fleet.poll_all();
+      fleet.poll_all();
+      fleet.kill(kVictim);
+      killed = true;
+    }
+  });
+  ASSERT_TRUE(killed);
+  for (int i = 0; i < 200 && !pc.drain(8); ++i) fleet.poll_all();
+  fleet.poll_all();
+  ASSERT_FALSE(pc.endpoint_healthy(kVictim));
+
+  // (c) The fault left its trail in the shared client-side trace: the
+  // endpoint client recorded the disconnect, the partitioned tier the
+  // rebalance that moved the victim's slots.
+  const auto pc_events = pc.events().snapshot();
+  EXPECT_GE(pc_events.count(obs::EventKind::kDisconnect), 1u);
+  EXPECT_EQ(pc_events.count(obs::EventKind::kRebalance), 1u);
+  bool saw_victim_rebalance = false;
+  for (const auto& ev : pc_events.events) {
+    if (ev.kind == obs::EventKind::kRebalance) {
+      saw_victim_rebalance = ev.detail == "ep" + std::to_string(kVictim);
+      EXPECT_EQ(ev.value, pc.slot_count() / kAgents);  // exactly its home slots
+    }
+  }
+  EXPECT_TRUE(saw_victim_rebalance);
+  // The client-side registry agrees with the Stats view over it.
+  EXPECT_EQ(pc.stats().rebalances, 1u);
+
+  // --- The scrape: one kMetrics fan-out through the coordinator.
+  transport::QueryCoordinatorConfig qcfg;
+  qcfg.reply_rounds = 64;
+  transport::QueryCoordinator coord(qcfg);
+  for (std::size_t i = 0; i < kAgents; ++i) coord.add_agent(fleet.factory(i));
+  coord.set_drive([&fleet] { fleet.poll_all(); });
+
+  const auto per_agent = coord.per_agent_scrapes();
+  ASSERT_EQ(per_agent.size(), kAgents);
+  std::vector<obs::Scrape> answered;
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    if (i == kVictim) {
+      EXPECT_FALSE(per_agent[i].has_value()) << "dead agent answered a scrape";
+    } else {
+      ASSERT_TRUE(per_agent[i].has_value()) << "survivor " << i << " missed the scrape";
+      answered.push_back(*per_agent[i]);
+    }
+  }
+  const auto merged = transport::merge_scrapes(answered);
+
+  // (b) Hand-rolled sum/union over the per-agent scrapes — the oracle the
+  // production merge must match exactly.
+  std::map<std::string, const obs::MetricSample*> expect_first;
+  std::map<std::string, std::uint64_t> expect_counter;
+  std::map<std::string, std::int64_t> expect_gauge;
+  std::map<std::string, common::LatencySketch> expect_hist;
+  for (const auto& scrape : answered) {
+    for (const auto& s : scrape.metrics.samples) {
+      const auto key = sample_key(s);
+      expect_first.try_emplace(key, &s);
+      switch (s.kind) {
+        case obs::MetricKind::kCounter:
+          expect_counter[key] += s.counter;
+          break;
+        case obs::MetricKind::kGauge: {
+          auto [it, inserted] = expect_gauge.try_emplace(key, s.gauge);
+          if (!inserted && s.gauge > it->second) it->second = s.gauge;
+          break;
+        }
+        case obs::MetricKind::kHistogram: {
+          auto [it, inserted] = expect_hist.try_emplace(key, s.histogram.config());
+          it->second.merge(s.histogram);
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(merged.metrics.samples.size(), expect_first.size());
+  for (const auto& s : merged.metrics.samples) {
+    const auto key = sample_key(s);
+    ASSERT_TRUE(expect_first.count(key)) << "merge invented series " << key;
+    switch (s.kind) {
+      case obs::MetricKind::kCounter:
+        EXPECT_EQ(s.counter, expect_counter.at(key)) << key;
+        break;
+      case obs::MetricKind::kGauge:
+        EXPECT_EQ(s.gauge, expect_gauge.at(key)) << key;
+        break;
+      case obs::MetricKind::kHistogram:
+        // Bin-for-bin: the union is exact, like every sketch merge.
+        EXPECT_EQ(s.histogram.bins(), expect_hist.at(key).bins()) << key;
+        EXPECT_EQ(s.histogram.zero_count(), expect_hist.at(key).zero_count()) << key;
+        break;
+    }
+  }
+  // Event counts summed element-wise across the survivors.
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+    std::uint64_t want = 0;
+    for (const auto& scrape : answered) want += scrape.events.counts[k];
+    EXPECT_EQ(merged.events.counts[k], want);
+  }
+
+  // The merged scrape's ingest totals match the survivors' ground truth —
+  // the scrape plane agrees with the query plane and the agents themselves.
+  std::uint64_t want_records = 0;
+  std::uint64_t want_estimates = 0;
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    if (i == kVictim) continue;
+    want_records += fleet.agents[i]->stats().records_ingested;
+    want_estimates += fleet.agents[i]->stats().estimates_ingested;
+  }
+  std::uint64_t got_records = 0;
+  std::uint64_t got_estimates = 0;
+  std::uint64_t got_connects = 0;
+  for (const auto& s : merged.metrics.samples) {
+    if (s.name == "rlir_agent_records_ingested_total") got_records += s.counter;
+    if (s.name == "rlir_agent_estimates_ingested_total") got_estimates += s.counter;
+    if (s.name == "rlir_agent_connections_accepted_total") got_connects += s.counter;
+  }
+  EXPECT_EQ(got_records, want_records);
+  EXPECT_EQ(got_estimates, want_estimates);
+  EXPECT_GT(got_connects, 0u);
+
+  // (c) continued: every surviving agent's own trace saw its connections.
+  for (const auto& scrape : answered) {
+    EXPECT_GE(scrape.events.count(obs::EventKind::kConnect), 1u);
+  }
+
+  // fleet_metrics() is the same merge driven by its own fan-out.
+  const auto fleet_scrape = coord.fleet_metrics();
+  std::uint64_t fleet_records = 0;
+  for (const auto& s : fleet_scrape.metrics.samples) {
+    if (s.name == "rlir_agent_records_ingested_total") fleet_records += s.counter;
+  }
+  EXPECT_EQ(fleet_records, want_records);
+}
+
+TEST(AgentStatsFieldTable, EveryFieldRoundTripsThroughMergeWireAndScrape) {
+  // Distinct sentinels per field, assigned through the table itself.
+  transport::AgentStats a;
+  transport::AgentStats b;
+  for (std::size_t i = 0; i < transport::kAgentStatsFieldCount; ++i) {
+    a.*(transport::kAgentStatsFields[i].member) = 100 + i;
+    b.*(transport::kAgentStatsFields[i].member) = 1000 * (i + 1);
+  }
+
+  // merge_agent_stats: field-wise sum, no field skipped or crossed.
+  const auto merged = transport::merge_agent_stats({a, b});
+  for (std::size_t i = 0; i < transport::kAgentStatsFieldCount; ++i) {
+    EXPECT_EQ(merged.*(transport::kAgentStatsFields[i].member), 100 + i + 1000 * (i + 1))
+        << transport::kAgentStatsFields[i].name;
+  }
+
+  // kStats wire codec: every field survives encode/decode.
+  transport::QueryReply reply;
+  reply.kind = transport::QueryKind::kStats;
+  reply.stats = a;
+  const auto bytes = transport::encode_reply(reply);
+  const auto decoded = transport::decode_reply(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < transport::kAgentStatsFieldCount; ++i) {
+    EXPECT_EQ(decoded.stats.*(transport::kAgentStatsFields[i].member), 100 + i)
+        << transport::kAgentStatsFields[i].name;
+  }
+
+  // Scrape exposition: one rlir_agent_<field>_total counter per field.
+  obs::MetricsSnapshot snap;
+  transport::append_agent_stats(snap, a, {{"instance", "a7"}});
+  ASSERT_EQ(snap.samples.size(), transport::kAgentStatsFieldCount);
+  for (std::size_t i = 0; i < transport::kAgentStatsFieldCount; ++i) {
+    bool found = false;
+    const std::string want_name =
+        std::string("rlir_agent_") + transport::kAgentStatsFields[i].name + "_total";
+    for (const auto& s : snap.samples) {
+      if (s.name != want_name) continue;
+      found = true;
+      EXPECT_EQ(s.counter, 100 + i) << want_name;
+      ASSERT_EQ(s.labels.size(), 1u);
+      EXPECT_EQ(s.labels[0].second, "a7");
+    }
+    EXPECT_TRUE(found) << want_name << " missing from the scrape";
+  }
+}
+
+TEST(AgentStatsFieldTable, MergeSaturatesEveryField) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  transport::AgentStats a;
+  transport::AgentStats b;
+  for (const auto& field : transport::kAgentStatsFields) {
+    a.*(field.member) = kMax - 1;
+    b.*(field.member) = 7;
+  }
+  const auto merged = transport::merge_agent_stats({a, b});
+  for (const auto& field : transport::kAgentStatsFields) {
+    EXPECT_EQ(merged.*(field.member), kMax) << field.name;
+  }
+}
+
+}  // namespace
+}  // namespace rlir
