@@ -152,14 +152,21 @@ int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epo
 
   // --- Stage 3: single-threaded collector ingest across epochs (decode +
   // shard + merge) — the baseline the concurrent sweep is judged against.
+  // Uses the zero-copy view path, which is what the agent's ingest loop runs
+  // in production; the owning path is measured alongside for the ladder in
+  // docs/PERFORMANCE.md.
   collect::CollectorConfig collector_cfg;
   collector_cfg.shard_count = shard_count;
   collect::ShardedCollector collector(collector_cfg);
+  std::vector<collect::RecordView> views;
   const auto collect_start = Clock::now();
   for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
-    auto batch = collect::decode_records(bytes.data(), bytes.size());
-    for (auto& r : batch) r.epoch = epoch;
-    collector.ingest(batch);
+    views.clear();
+    collect::decode_record_views_prefix(bytes.data(), bytes.size(), views);
+    for (auto& v : views) {
+      v.epoch = epoch;
+      collector.ingest(v);
+    }
   }
   const double collect_s = seconds_since(collect_start);
   const double total_records = static_cast<double>(records.size()) * epochs;
@@ -169,6 +176,18 @@ int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epo
   print_metric("collector_estimate_rate",
                static_cast<double>(collector.estimates_ingested()) / collect_s,
                "estimates/s");
+
+  // Owning decode path (materialized EstimateRecords, heap sketches) over the
+  // same workload, so view-vs-owning stays measurable per run.
+  collect::ShardedCollector owning_collector(collector_cfg);
+  const auto owning_start = Clock::now();
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    auto batch = collect::decode_records(bytes.data(), bytes.size());
+    for (auto& r : batch) r.epoch = epoch;
+    owning_collector.ingest(batch);
+  }
+  const double owning_s = seconds_since(owning_start);
+  print_metric("collector_rate_owning", total_records / owning_s, "records/s");
 
   // --- Stage 3b: threads-vs-throughput sweep over the concurrent collector
   // (thread-per-shard workers; producers decode in parallel too, exactly as

@@ -108,7 +108,14 @@ template <typename MakeStream, typename Drive>
 double run_backend(const std::vector<collect::EstimateRecord>& batch, std::uint32_t epochs,
                    transport::CollectorAgent& agent, MakeStream make_stream, Drive drive,
                    double* overhead_out) {
-  transport::CollectorClient client(transport::CollectorClientConfig{}, make_stream);
+  transport::CollectorClientConfig client_cfg;
+  // The bench measures lossless end-to-end throughput: it submits whole
+  // epochs back-to-back with no pacing, so the queue must hold the full run
+  // (production clients pace by epoch interval and want the default cap's
+  // shed-oldest behavior instead; at full size the threaded socket stage
+  // would otherwise shed by design and report loss).
+  client_cfg.max_buffered_bytes = 256u << 20;
+  transport::CollectorClient client(client_cfg, make_stream);
   const auto start = Clock::now();
   std::vector<collect::EstimateRecord> stamped = batch;
   for (std::uint32_t e = 0; e < epochs; ++e) {

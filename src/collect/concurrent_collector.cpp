@@ -129,6 +129,35 @@ void ConcurrentShardedCollector::submit(std::vector<EstimateRecord> batch) {
   }
 }
 
+void ConcurrentShardedCollector::submit_views(const std::vector<RecordView>& batch) {
+  for (const auto& record : batch) {
+    if (record.sketch.relative_accuracy != config_.sketch.relative_accuracy) {
+      throw std::invalid_argument(
+          "ConcurrentShardedCollector::submit: record sketch accuracy differs from config");
+    }
+  }
+  if (batch.empty()) return;
+  submitted_->add(batch.size());
+  // Inline application, holding each record's lane lock only while merging
+  // it; consecutive same-lane records reuse the held lock. This is the
+  // queue-full fallback path generalized: correct under concurrency because
+  // merge is exact and commutative, synchronous because views borrow the
+  // caller's buffer.
+  std::unique_lock<std::mutex> lock;
+  std::size_t locked_lane = lanes_.size();  // sentinel: nothing locked yet
+  for (const auto& record : batch) {
+    const std::size_t l = record.key.hash() % lanes_.size();
+    if (l != locked_lane) {
+      // Release before acquiring: two callers must never each hold a lane
+      // lock while waiting on the other's.
+      if (lock.owns_lock()) lock.unlock();
+      lock = std::unique_lock<std::mutex>(lanes_[l]->state_mu);
+      locked_lane = l;
+    }
+    lanes_[l]->state.ingest(record);
+  }
+}
+
 void ConcurrentShardedCollector::worker_loop(Lane& lane) {
   std::vector<EstimateRecord> local;
   for (;;) {

@@ -84,6 +84,15 @@ class ConcurrentShardedCollector {
   /// rejected whole.
   void submit(std::vector<EstimateRecord> batch);
 
+  /// Zero-copy batch ingest: merges decoded RecordViews inline under the
+  /// per-lane state locks (views borrow the frame payload, so they cannot
+  /// ride a queue past the caller's stack frame; inline application is what
+  /// makes borrowing safe). Converges to the same state as submit() of the
+  /// materialized records — merge is exact and commutative. Validates every
+  /// record before touching any lane (std::invalid_argument on accuracy
+  /// mismatch, whole batch rejected). Synchronous: complete when it returns.
+  void submit_views(const std::vector<RecordView>& batch);
+
   /// Blocks until every lane's queue is fully drained — a superset of "all
   /// records submitted before this call are merged". Under sustained
   /// concurrent submission this waits for the later records too; pause the

@@ -39,7 +39,8 @@ void encode_record(const EstimateRecord& r, std::uint8_t*& p) {
   encode_sketch(p, r.sketch);
 }
 
-/// Parses one record at `p`, bounds-checked against `end`.
+/// Parses one record at `p`, bounds-checked against `end`. Field offsets and
+/// validation rules are specified in docs/WIRE.md ("RLES record batches").
 EstimateRecord decode_record(const std::uint8_t*& p, const std::uint8_t* end) {
   if (static_cast<std::size_t>(end - p) < kKeyedFixedSize + kSketchFixedSize) {
     throw std::runtime_error("EstimateRecord: truncated record");
@@ -112,6 +113,103 @@ common::LatencySketch decode_sketch(const std::uint8_t*& p, const std::uint8_t* 
   } catch (const std::invalid_argument& e) {
     throw std::runtime_error(std::string("EstimateRecord: corrupt sketch config: ") + e.what());
   }
+}
+
+namespace {
+
+/// View counterpart of decode_sketch: same bounds/corruption checks, but
+/// bins stay in place. The accuracy-range check stands in for the sketch
+/// constructor the owning path ran (same runtime_error verdict).
+SketchView decode_sketch_view(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < kSketchFixedSize) {
+    throw std::runtime_error("EstimateRecord: truncated sketch");
+  }
+  SketchView v;
+  v.relative_accuracy = take_f64(p);
+  v.max_bins = take<std::uint32_t>(p);
+  v.zero_count = take<std::uint64_t>(p);
+  v.sum = take_f64(p);
+  v.min = take_f64(p);
+  v.max = take_f64(p);
+  if (!std::isfinite(v.sum) || !std::isfinite(v.min) || !std::isfinite(v.max)) {
+    throw std::runtime_error("EstimateRecord: non-finite sketch moments (corrupt input)");
+  }
+  v.bin_count = take<std::uint32_t>(p);
+  if (v.bin_count > kMaxWireBins) {
+    throw std::runtime_error("EstimateRecord: implausible bin count (corrupt input)");
+  }
+  if (static_cast<std::size_t>(end - p) < static_cast<std::size_t>(v.bin_count) * kBinSize) {
+    throw std::runtime_error("EstimateRecord: truncated bins");
+  }
+  // The owning path validated accuracy inside from_parts (after reading the
+  // bins); match its verdict and ordering. Same runtime_error → peers with
+  // corrupt configs are dropped, not crashed into.
+  if (!(v.relative_accuracy > 0.0) || !(v.relative_accuracy < 1.0)) {
+    throw std::runtime_error(
+        "EstimateRecord: corrupt sketch config: LatencySketch: relative_accuracy must be in (0, 1)");
+  }
+  v.bins = p;
+  // One warm sequential pass for the total; the merge re-reads the bins from
+  // cache. (The owning decoder paid a BinMap node per bin here instead.)
+  for (std::uint32_t i = 0; i < v.bin_count; ++i) {
+    const std::uint8_t* bin = v.bins + static_cast<std::size_t>(i) * kBinSize + 4;
+    v.binned_count += take<std::uint64_t>(bin);
+  }
+  p += static_cast<std::size_t>(v.bin_count) * kBinSize;
+  return v;
+}
+
+RecordView decode_record_view(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < kKeyedFixedSize + kSketchFixedSize) {
+    throw std::runtime_error("EstimateRecord: truncated record");
+  }
+  RecordView r;
+  r.key.src = net::Ipv4Address(take<std::uint32_t>(p));
+  r.key.dst = net::Ipv4Address(take<std::uint32_t>(p));
+  r.key.src_port = take<std::uint16_t>(p);
+  r.key.dst_port = take<std::uint16_t>(p);
+  r.key.proto = take<std::uint8_t>(p);
+  r.link = take<std::uint32_t>(p);
+  r.sender = take<std::uint16_t>(p);
+  r.epoch = take<std::uint32_t>(p);
+  r.sketch = decode_sketch_view(p, end);
+  return r;
+}
+
+}  // namespace
+
+std::size_t decode_record_views_prefix(const std::uint8_t* data, std::size_t size,
+                                       std::vector<RecordView>& out) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* end = data + size;
+  if (size < kHeaderSize) throw std::runtime_error("EstimateRecord: truncated header");
+  for (char c : kMagic) {
+    if (take<std::uint8_t>(p) != static_cast<std::uint8_t>(c)) {
+      throw std::runtime_error("EstimateRecord: bad magic");
+    }
+  }
+  const auto version = take<std::uint32_t>(p);
+  if (version != kEstimateWireVersion) {
+    throw std::runtime_error("EstimateRecord: unsupported version " + std::to_string(version));
+  }
+  const auto count = take<std::uint64_t>(p);
+  if (count < (1u << 20)) out.reserve(out.size() + count);  // don't trust a corrupt count
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(decode_record_view(p, end));
+  }
+  return static_cast<std::size_t>(p - data);
+}
+
+void merge_sketch_view(common::LatencySketch& dst, const SketchView& view) {
+  dst.merge_parts(view.relative_accuracy, view.max_bins, view.zero_count, view.binned_count,
+                  view.sum, view.min, view.max, view.bin_count, [&view](auto&& emit) {
+                    const std::uint8_t* p = view.bins;
+                    for (std::uint32_t i = 0; i < view.bin_count; ++i) {
+                      const auto index = take<std::int32_t>(p);
+                      const auto count = take<std::uint64_t>(p);
+                      emit(index, count);
+                    }
+                  });
 }
 
 std::size_t wire_size(const EstimateRecord& record) {

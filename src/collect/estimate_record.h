@@ -71,6 +71,58 @@ struct DecodedBatch {
 /// on malformed input, same as decode_records.
 [[nodiscard]] DecodedBatch decode_records_prefix(const std::uint8_t* data, std::size_t size);
 
+// --- Zero-copy record views ------------------------------------------------
+// The ingest hot path never needs an owning EstimateRecord: the collector
+// merges each sketch into its own state and drops the record. Views keep the
+// bins where they already are — in the frame payload — so decoding a batch
+// allocates nothing per record (no LatencySketch, no BinMap nodes) and the
+// bins are read exactly once, during the merge itself.
+
+/// A sketch's serialized state, validated but not materialized. Bins remain
+/// wire bytes; borrow lifetime is the underlying buffer's (a FrameView's
+/// payload: until the decoder's next feed()).
+struct SketchView {
+  double relative_accuracy = 0.0;
+  std::uint32_t max_bins = 0;
+  std::uint64_t zero_count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint32_t bin_count = 0;
+  /// Sum of all bin counts (computed during decode validation).
+  std::uint64_t binned_count = 0;
+  /// bin_count x (i32 index, u64 count), little-endian, borrowed.
+  const std::uint8_t* bins = nullptr;
+
+  /// Total observations (zero bin + all bins).
+  [[nodiscard]] std::uint64_t count() const { return zero_count + binned_count; }
+};
+
+/// One record of a batch, keyed fields decoded, sketch left as a view.
+struct RecordView {
+  net::FiveTuple key;
+  LinkId link = kNoLink;
+  net::SenderId sender = net::kNoSender;
+  std::uint32_t epoch = 0;
+  SketchView sketch;
+};
+
+/// View-based overload of decode_records_prefix: appends one batch's records
+/// to `out` (not cleared — callers reuse it as a scratch arena across
+/// batches) and returns the bytes consumed. Performs the same validation and
+/// throws the same std::runtime_errors as the owning decoder, including
+/// rejecting out-of-range relative accuracies (which the owning path caught
+/// via sketch construction). Views borrow `data`; they are invalidated by
+/// whatever invalidates it.
+std::size_t decode_record_views_prefix(const std::uint8_t* data, std::size_t size,
+                                       std::vector<RecordView>& out);
+
+/// Merges a decoded view into `dst` exactly as
+/// `dst.merge(decode_sketch(...)-materialized sketch)` would — bin for bin —
+/// without building the intermediate. Throws std::invalid_argument on a
+/// relative-accuracy mismatch, like merge.
+void merge_sketch_view(common::LatencySketch& dst, const SketchView& view);
+
 /// Exact wire size of one record in bytes (memory/bandwidth accounting).
 [[nodiscard]] std::size_t wire_size(const EstimateRecord& record);
 

@@ -10,8 +10,8 @@ void EstimateExporter::observe(net::SenderId sender,
   if (it == flows_.end()) {
     if (config_.max_flows > 0 && flows_.size() >= config_.max_flows) evict_least_recent();
     it = flows_
-             .emplace(estimate.key,
-                      FlowEntry{common::LatencySketch(config_.sketch), sender, estimate.arrival})
+             .try_emplace(estimate.key,
+                          FlowEntry{common::LatencySketch(config_.sketch), sender, estimate.arrival})
              .first;
   }
   it->second.sketch.add(estimate.estimate_ns);
@@ -69,7 +69,7 @@ std::vector<EstimateRecord> EstimateExporter::drain(std::uint32_t epoch) {
   }
   flows_.clear();
   // Flow-key order keeps batches (and everything downstream of them)
-  // bit-reproducible across runs despite unordered_map iteration. stable_sort
+  // bit-reproducible across runs despite arbitrary flat-map iteration. stable_sort
   // so a cap-evicted flow's record precedes its re-observed remainder.
   std::stable_sort(records.begin(), records.end(),
                    [](const EstimateRecord& a, const EstimateRecord& b) { return a.key < b.key; });

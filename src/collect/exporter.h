@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "collect/estimate_record.h"
+#include "common/flat_hash_map.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
 #include "rli/receiver.h"
@@ -102,7 +102,10 @@ class EstimateExporter {
   void evict_least_recent();
 
   ExporterConfig config_;
-  std::unordered_map<net::FiveTuple, FlowEntry> flows_;
+  /// Flat map (common/flat_hash_map.h): observe() is one lookup per
+  /// estimate, the hottest exporter path. Iteration order is arbitrary;
+  /// every drain path sorts by flow key before returning, as before.
+  common::FlatHashMap<net::FiveTuple, FlowEntry> flows_;
   std::vector<PendingRecord> pending_;
   std::uint64_t observed_ = 0;
   std::uint64_t cap_evicted_ = 0;

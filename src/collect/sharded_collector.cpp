@@ -18,12 +18,9 @@ ShardedCollector::ShardedCollector(CollectorConfig config) : config_(config) {
 
 void ShardedCollector::merge_into_flow(Shard& shard, const net::FiveTuple& key,
                                        const common::LatencySketch& sketch) {
-  auto [it, inserted] = shard.flows.try_emplace(key, FlowState{common::LatencySketch(config_.sketch), 0.0});
-  FlowState& state = it->second;
-  if (!inserted) shard.rank.erase({state.rank_value, key});
-  state.sketch.merge(sketch);
-  state.rank_value = state.sketch.quantile(config_.top_k_quantile);
-  shard.rank.insert({state.rank_value, key});
+  auto [it, inserted] = shard.flows.try_emplace(key, common::LatencySketch(config_.sketch));
+  it->second.merge(sketch);
+  shard.rank_stale = true;
 }
 
 void ShardedCollector::ingest(const EstimateRecord& record) {
@@ -52,6 +49,42 @@ void ShardedCollector::ingest(const std::vector<EstimateRecord>& batch) {
   for (const auto& record : batch) ingest(record);
 }
 
+void ShardedCollector::merge_into_flow(Shard& shard, const net::FiveTuple& key,
+                                       const SketchView& sketch) {
+  auto [it, inserted] = shard.flows.try_emplace(key, common::LatencySketch(config_.sketch));
+  merge_sketch_view(it->second, sketch);
+  shard.rank_stale = true;
+}
+
+void ShardedCollector::refresh_rank(const Shard& shard) const {
+  if (!shard.rank_stale) return;
+  shard.rank.clear();
+  for (const auto& [key, sketch] : shard.flows) {
+    shard.rank.insert({sketch.quantile(config_.top_k_quantile), key});
+  }
+  shard.rank_stale = false;
+}
+
+void ShardedCollector::ingest(const RecordView& record) {
+  // Same state transitions as the owning overload, sourced from the wire
+  // bytes the view borrows.
+  if (record.sketch.relative_accuracy != config_.sketch.relative_accuracy) {
+    throw std::invalid_argument(
+        "ShardedCollector::ingest: record sketch accuracy differs from collector config");
+  }
+  Shard& shard = shards_[shard_for(record.key)];
+
+  merge_into_flow(shard, record.key, record.sketch);
+
+  auto [link_it, link_inserted] =
+      shard.links.try_emplace(record.link, common::LatencySketch(config_.sketch));
+  merge_sketch_view(link_it->second, record.sketch);
+
+  epochs_.insert(record.epoch);
+  ++records_;
+  estimates_ += record.sketch.count();
+}
+
 void ShardedCollector::merge(const ShardedCollector& other) {
   if (&other == this) {
     // Self-merge would re-home link aggregates into shards still pending
@@ -69,8 +102,8 @@ void ShardedCollector::merge(const ShardedCollector& other) {
         "ShardedCollector::merge: replica sketch accuracy differs from collector config");
   }
   for (const auto& shard : other.shards_) {
-    for (const auto& [key, state] : shard.flows) {
-      merge_into_flow(shards_[shard_for(key)], key, state.sketch);
+    for (const auto& [key, sketch] : shard.flows) {
+      merge_into_flow(shards_[shard_for(key)], key, sketch);
     }
     for (const auto& [link_id, sketch] : shard.links) {
       // Keep each link aggregate in a single home shard when re-merging so
@@ -88,7 +121,7 @@ void ShardedCollector::merge(const ShardedCollector& other) {
 const common::LatencySketch* ShardedCollector::flow(const net::FiveTuple& key) const {
   const Shard& shard = shards_[shard_for(key)];
   const auto it = shard.flows.find(key);
-  return it == shard.flows.end() ? nullptr : &it->second.sketch;
+  return it == shard.flows.end() ? nullptr : &it->second;
 }
 
 std::optional<double> ShardedCollector::flow_quantile(const net::FiveTuple& key, double q) const {
@@ -169,8 +202,8 @@ std::vector<RankedFlowSummary> ShardedCollector::top_k_ranked_scan(std::size_t k
   std::vector<RankedFlowSummary> top;
   top.reserve(flow_count());
   for (const auto& shard : shards_) {
-    for (const auto& [key, state] : shard.flows) {
-      top.emplace_back(state.sketch.quantile(q), summarize(key, state.sketch));
+    for (const auto& [key, sketch] : shard.flows) {
+      top.emplace_back(sketch.quantile(q), summarize(key, sketch));
     }
   }
   std::sort(top.begin(), top.end(), ranked_worse_first);
@@ -198,6 +231,7 @@ std::vector<RankedFlowSummary> ShardedCollector::top_k_ranked(std::size_t k, dou
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_after)> heads(cursor_after);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
+    refresh_rank(shards_[s]);
     const RankIndex& rank = shards_[s].rank;
     if (!rank.empty()) heads.push(Cursor{rank.begin(), rank.end(), s});
   }
@@ -207,7 +241,7 @@ std::vector<RankedFlowSummary> ShardedCollector::top_k_ranked(std::size_t k, dou
     Cursor cur = heads.top();
     heads.pop();
     const auto& [value, key] = *cur.it;
-    top.emplace_back(value, summarize(key, shards_[cur.shard].flows.at(key).sketch));
+    top.emplace_back(value, summarize(key, shards_[cur.shard].flows.at(key)));
     if (++cur.it != cur.end) heads.push(cur);
   }
   return top;
@@ -239,9 +273,9 @@ std::vector<std::size_t> ShardedCollector::shard_flow_counts() const {
 std::size_t ShardedCollector::approx_flow_bytes() const {
   std::size_t bytes = 0;
   for (const auto& shard : shards_) {
-    for (const auto& [key, state] : shard.flows) {
+    for (const auto& [key, sketch] : shard.flows) {
       (void)key;
-      bytes += state.sketch.approx_bytes();
+      bytes += sketch.approx_bytes();
     }
   }
   return bytes;

@@ -10,21 +10,28 @@
 //
 // Query API: per-flow quantiles, per-link latency distributions, fleet-wide
 // distribution, and top-k worst-latency flows. Top-k is served from a
-// per-shard rank index maintained at ingest (each shard keeps its flows
-// ordered worst-first at the configured quantile), merged at query time with
-// a bounded heap over shard cursors — O(k·shards) per query instead of a
-// full scan that re-sketches every flow.
+// per-shard rank index (each shard keeps its flows ordered worst-first at
+// the configured quantile), merged at query time with a bounded heap over
+// shard cursors — O(k·shards) per query instead of a full scan that
+// re-sketches every flow. The index is rebuilt lazily: ingest only marks the
+// shard stale, and the first indexed top-k query after a write re-ranks that
+// shard's flows. Collection is millions of records between queries, so
+// paying O(flows·log flows) once per query instead of O(log flows) plus a
+// quantile walk on EVERY record is the right side of the trade by orders of
+// magnitude. Consequence: queries mutate the index — the external
+// synchronization this class already requires must treat them as writes
+// (the concurrent wrapper's per-lane state lock already does).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "collect/estimate_record.h"
+#include "common/flat_hash_map.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
 
@@ -80,6 +87,12 @@ class ShardedCollector {
   /// relative-accuracy mismatch with the collector's sketch config.
   void ingest(const EstimateRecord& record);
   void ingest(const std::vector<EstimateRecord>& batch);
+
+  /// Zero-copy ingest: merges a decoded RecordView directly from the wire
+  /// bytes it points into — identical end state to ingesting the
+  /// materialized EstimateRecord, without building it. Same
+  /// std::invalid_argument on an accuracy mismatch.
+  void ingest(const RecordView& record);
 
   /// Merges another collector's entire state (replica/epoch union). Shard
   /// counts need not match; flows are re-routed by this collector's hash.
@@ -145,26 +158,32 @@ class ShardedCollector {
   };
   using RankIndex = std::set<std::pair<double, net::FiveTuple>, WorstFirst>;
 
-  struct FlowState {
-    common::LatencySketch sketch;
-    /// The value this flow is currently indexed under in the shard's rank
-    /// index (needed to erase the stale entry when the sketch changes).
-    double rank_value = 0.0;
-  };
-
   struct Shard {
-    std::unordered_map<net::FiveTuple, FlowState> flows;
-    std::unordered_map<LinkId, common::LatencySketch> links;
-    RankIndex rank;
+    /// Flat maps (common/flat_hash_map.h): ingest does one lookup+insert per
+    /// record, and the dense layout removes the per-entry heap node and the
+    /// bucket-pointer chase unordered_map paid there. Iteration order is
+    /// insertion-order-until-erase (not hash order); every query that needs
+    /// determinism sorts, as before.
+    common::FlatHashMap<net::FiveTuple, common::LatencySketch> flows;
+    common::FlatHashMap<LinkId, common::LatencySketch> links;
+    /// Lazily rebuilt by top_k_ranked when `rank_stale` — mutable because
+    /// the rebuild happens inside const query methods (logical const; see
+    /// the class comment for the synchronization contract).
+    mutable RankIndex rank;
+    mutable bool rank_stale = false;
   };
 
   [[nodiscard]] std::size_t shard_for(const net::FiveTuple& key) const {
     return key.hash() % config_.shard_count;
   }
-  /// Merges `sketch` into `key`'s flow state and re-indexes the flow in the
-  /// shard's rank index (the single mutation path ingest and merge share).
+  /// Merges `sketch` into `key`'s flow state and marks the shard's rank
+  /// index stale (the single mutation path ingest and merge share).
   void merge_into_flow(Shard& shard, const net::FiveTuple& key,
                        const common::LatencySketch& sketch);
+  /// View counterpart (merge_sketch_view instead of merge; same staleness).
+  void merge_into_flow(Shard& shard, const net::FiveTuple& key, const SketchView& sketch);
+  /// Re-ranks a stale shard's flows at the configured top-k quantile.
+  void refresh_rank(const Shard& shard) const;
   /// The scan implementation behind top_k_flows_scan and the un-indexed
   /// fallback of top_k_ranked — one copy of the ordering/tie-break rules.
   [[nodiscard]] std::vector<RankedFlowSummary> top_k_ranked_scan(std::size_t k, double q) const;

@@ -14,14 +14,16 @@ LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets_per_decade)
   }
   log_lo_ = std::log10(lo);
   log_ratio_ = 1.0 / static_cast<double>(buckets_per_decade);
+  indexer_ = Log10BucketIndexer(log_lo_, log_ratio_);
   const double decades = std::log10(hi) - log_lo_;
   const auto n = static_cast<std::size_t>(std::ceil(decades / log_ratio_));
   counts_.assign(n == 0 ? 1 : n, 0);
 }
 
 std::size_t LogHistogram::index_for(double value) const {
-  const double idx = (std::log10(value) - log_lo_) / log_ratio_;
-  return static_cast<std::size_t>(idx);
+  // Log-free (common/log2_index.h), identical to
+  // static_cast<size_t>((log10(value) - log_lo_) / log_ratio_).
+  return indexer_.index(value);
 }
 
 void LogHistogram::record(double value) { record(value, 1); }

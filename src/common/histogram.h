@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/log2_index.h"
+
 namespace rlir::common {
 
 /// Buckets are geometric: [lo * g^i, lo * g^(i+1)). Values below `lo` land in
@@ -42,6 +44,7 @@ class LogHistogram {
   double lo_;
   double log_lo_;
   double log_ratio_;  // log of bucket growth factor
+  Log10BucketIndexer indexer_;  // log-free bucket index, identical to the libm formula
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;

@@ -20,12 +20,15 @@ LatencySketch::LatencySketch(LatencySketchConfig config) : config_(config) {
   }
   const double a = config_.relative_accuracy;
   log_gamma_ = std::log((1.0 + a) / (1.0 - a));
+  indexer_ = LogGammaCeilIndexer(log_gamma_);
 }
 
 std::int32_t LatencySketch::index_for(double value) const {
   // ceil(log_gamma(value)): every value in (gamma^(i-1), gamma^i] maps to i,
   // so the bin's representative value is within relative_accuracy of it.
-  return static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+  // Computed log-free (common/log2_index.h), bin-for-bin identical to
+  // ceil(log(value) / log_gamma_).
+  return indexer_.index(value);
 }
 
 double LatencySketch::value_for(std::int32_t index) const {
@@ -51,7 +54,7 @@ void LatencySketch::add(double value, std::uint64_t count) {
     zero_count_ += count;
     return;
   }
-  bins_[index_for(value)] += count;
+  bins_.add(index_for(value), count);
   binned_count_ += count;
   collapse_if_needed();
 }
@@ -61,10 +64,7 @@ void LatencySketch::collapse_if_needed() {
   while (bins_.size() > config_.max_bins) {
     // Fold the lowest bin into its neighbor above: only quantiles below the
     // surviving bin's range lose accuracy, preserving the tail.
-    auto lowest = bins_.begin();
-    auto next = std::next(lowest);
-    next->second += lowest->second;
-    bins_.erase(lowest);
+    bins_.fold_lowest();
     ++collapses_;
   }
 }
@@ -84,7 +84,7 @@ void LatencySketch::merge(const LatencySketch& other) {
   sum_ += other.sum_;
   zero_count_ += other.zero_count_;
   binned_count_ += other.binned_count_;
-  for (const auto& [index, count] : other.bins_) bins_[index] += count;
+  for (const auto& [index, count] : other.bins_) bins_.add(index, count);
   collapse_if_needed();
 }
 
@@ -105,14 +105,20 @@ double LatencySketch::quantile(double q) const {
 }
 
 std::size_t LatencySketch::approx_bytes() const {
-  // std::map node: key + count + ~3 pointers + color; close enough for the
-  // memory-accounting queries the collector exposes.
-  constexpr std::size_t kNodeBytes = sizeof(std::int32_t) + sizeof(std::uint64_t) + 4 * sizeof(void*);
-  return sizeof(LatencySketch) + bins_.size() * kNodeBytes;
+  // Flat bin array: what the vector actually reserved, plus the object.
+  return sizeof(LatencySketch) + bins_.capacity_bytes();
 }
 
 LatencySketch LatencySketch::from_parts(LatencySketchConfig config, std::uint64_t zero_count,
-                                        double sum, double min, double max, BinMap bins) {
+                                        double sum, double min, double max, const BinMap& bins) {
+  BinStore store;
+  // Ascending map order hits the store's append fast path throughout.
+  for (const auto& [index, count] : bins) store.add(index, count);
+  return from_parts(config, zero_count, sum, min, max, std::move(store));
+}
+
+LatencySketch LatencySketch::from_parts(LatencySketchConfig config, std::uint64_t zero_count,
+                                        double sum, double min, double max, BinStore bins) {
   LatencySketch s(config);
   s.zero_count_ = zero_count;
   s.sum_ = sum;

@@ -18,8 +18,14 @@
 //     tail).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bin_store.h"
+#include "common/log2_index.h"
 
 namespace rlir::common {
 
@@ -33,8 +39,9 @@ struct LatencySketchConfig {
 
 class LatencySketch {
  public:
-  /// Counts keyed by logarithmic bin index (ordered, so quantile walks and
-  /// serialization are deterministic).
+  /// Map form of serialized bin state — what the owning wire decoder builds
+  /// before from_parts. Internal storage is a sorted flat vector
+  /// (common/bin_store.h); iteration order is identical (ascending index).
   using BinMap = std::map<std::int32_t, std::uint64_t>;
 
   LatencySketch() : LatencySketch(LatencySketchConfig{}) {}
@@ -53,6 +60,49 @@ class LatencySketch {
   /// std::invalid_argument if relative accuracies differ; the result keeps
   /// this sketch's bin budget.
   void merge(const LatencySketch& other);
+
+  /// Zero-copy merge of serialized sketch state: behaves exactly like
+  /// `merge(from_parts(config, zero_count, sum, min, max, bins))` — bin for
+  /// bin — without materializing the intermediate sketch or its BinMap.
+  ///
+  /// `each_bin` is invoked with a `void(std::int32_t index, std::uint64_t
+  /// count)` callback and must visit every serialized bin (duplicates
+  /// accumulate, as from_parts' map construction did); `binned_count` must be
+  /// the sum of those counts and `bin_count` their number. `max_bins_budget`
+  /// is the *serialized* config's budget: when the serialized bins exceed it,
+  /// from_parts would have collapsed them before the merge, so this falls
+  /// back to the materializing path to preserve exact equivalence (honest
+  /// encoders never exceed their own budget).
+  template <typename BinFn>
+  void merge_parts(double relative_accuracy, std::size_t max_bins_budget,
+                   std::uint64_t zero_count, std::uint64_t binned_count, double sum,
+                   double min, double max, std::uint32_t bin_count, BinFn&& each_bin) {
+    if (relative_accuracy != config_.relative_accuracy) {
+      throw std::invalid_argument("LatencySketch::merge: relative accuracies differ");
+    }
+    if (zero_count + binned_count == 0) return;  // merge()'s empty-other early-out
+    if (max_bins_budget != 0 && bin_count > max_bins_budget) {
+      // from_parts would collapse under the serialized budget before merging;
+      // reproduce that exactly (corrupt-encoder territory, never hot).
+      BinMap bins;
+      each_bin([&bins](std::int32_t index, std::uint64_t count) { bins[index] += count; });
+      merge(from_parts({relative_accuracy, max_bins_budget}, zero_count, sum, min, max,
+                       std::move(bins)));
+      return;
+    }
+    if (empty()) {
+      min_ = min;
+      max_ = max;
+    } else {
+      min_ = min_ < min ? min_ : min;
+      max_ = max_ > max ? max_ : max;
+    }
+    sum_ += sum;
+    zero_count_ += zero_count;
+    binned_count_ += binned_count;
+    each_bin([this](std::int32_t index, std::uint64_t count) { bins_.add(index, count); });
+    collapse_if_needed();
+  }
 
   /// Value within `relative_accuracy` of the order statistic at rank
   /// floor(q * (count-1)), q clamped to [0,1]. 0 when empty.
@@ -74,7 +124,7 @@ class LatencySketch {
   [[nodiscard]] std::size_t approx_bytes() const;
 
   [[nodiscard]] const LatencySketchConfig& config() const { return config_; }
-  [[nodiscard]] const BinMap& bins() const { return bins_; }
+  [[nodiscard]] const BinStore& bins() const { return bins_; }
 
   /// Representative value (within relative_accuracy) for a bin index from
   /// bins() — what an exposition writer needs to turn bins into bucket
@@ -86,7 +136,11 @@ class LatencySketch {
   /// the config's budget.
   [[nodiscard]] static LatencySketch from_parts(LatencySketchConfig config,
                                                 std::uint64_t zero_count, double sum,
-                                                double min, double max, BinMap bins);
+                                                double min, double max, const BinMap& bins);
+  /// Same, from another sketch's bins() (round-trip/re-bucket helpers).
+  [[nodiscard]] static LatencySketch from_parts(LatencySketchConfig config,
+                                                std::uint64_t zero_count, double sum,
+                                                double min, double max, BinStore bins);
 
  private:
   [[nodiscard]] std::int32_t index_for(double value) const;
@@ -95,7 +149,8 @@ class LatencySketch {
 
   LatencySketchConfig config_;
   double log_gamma_ = 0.0;  // ln((1+a)/(1-a)), cached for index_for
-  BinMap bins_;
+  LogGammaCeilIndexer indexer_;  // log-free bin index, identical to the libm formula
+  BinStore bins_;
   std::uint64_t zero_count_ = 0;
   std::uint64_t binned_count_ = 0;
   std::uint64_t collapses_ = 0;

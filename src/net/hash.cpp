@@ -1,7 +1,18 @@
 #include "net/hash.h"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RLIR_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define RLIR_CRC32C_ARM 1
+#include <arm_acle.h>
+#endif
 
 namespace rlir::net {
 
@@ -47,20 +58,123 @@ std::uint32_t load_le32(const std::byte* p, std::size_t n) {
   return v;
 }
 
-constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 CRC-32C tables: table[0] is the classic byte table; table[j]
+// advances a byte's contribution j extra bytes through the register, so one
+// iteration folds 8 input bytes with 8 independent table lookups instead of
+// 8 serial byte steps.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32c_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   constexpr std::uint32_t poly = 0x82f63b78u;  // reflected CRC-32C polynomial
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1u) ? (crc >> 1) ^ poly : crc >> 1;
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (std::size_t j = 1; j < 8; ++j) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[j][i] = (tables[j - 1][i] >> 8) ^ tables[0][tables[j - 1][i] & 0xffu];
+    }
+  }
+  return tables;
 }
 
-constexpr auto kCrc32cTable = make_crc32c_table();
+constexpr auto kCrc32cTables = make_crc32c_tables();
+
+std::uint32_t crc32c_soft_raw(const std::byte* p, std::size_t len, std::uint32_t crc) {
+  const auto& t = kCrc32cTables;
+  while (len >= 8) {
+    // Byte-composed loads keep the digest endian-stable; compilers fold them
+    // into single loads on little-endian hosts.
+    const std::uint32_t lo = load_le32(p, 4) ^ crc;
+    const std::uint32_t hi = load_le32(p + 4, 4);
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^ t[5][(lo >> 16) & 0xffu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^
+          t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<std::uint32_t>(*p++)) & 0xffu];
+  }
+  return crc;
+}
+
+std::uint32_t crc32c_soft_impl(const std::byte* p, std::size_t len, std::uint32_t seed) {
+  return ~crc32c_soft_raw(p, len, ~seed);
+}
+
+#if defined(RLIR_CRC32C_X86)
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw_impl(const std::byte* p,
+                                                               std::size_t len,
+                                                               std::uint32_t seed) {
+  std::uint64_t crc64 = ~seed;
+  while (len >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, 8);  // x86-64 is little-endian; bytes land in stream order
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    len -= 8;
+  }
+  auto crc = static_cast<std::uint32_t>(crc64);
+  while (len-- > 0) {
+    crc = _mm_crc32_u8(crc, static_cast<std::uint8_t>(*p++));
+  }
+  return ~crc;
+}
+
+bool crc32c_hw_usable() { return __builtin_cpu_supports("sse4.2") != 0; }
+#elif defined(RLIR_CRC32C_ARM)
+std::uint32_t crc32c_hw_impl(const std::byte* p, std::size_t len, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  while (len >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = __crc32cb(crc, static_cast<std::uint8_t>(*p++));
+  }
+  return ~crc;
+}
+
+// __ARM_FEATURE_CRC32 means the baseline -march already requires the
+// extension, so any CPU this binary runs on has it.
+bool crc32c_hw_usable() { return true; }
+#else
+std::uint32_t crc32c_hw_impl(const std::byte* p, std::size_t len, std::uint32_t seed) {
+  return crc32c_soft_impl(p, len, seed);
+}
+
+bool crc32c_hw_usable() { return false; }
+#endif
+
+using CrcFn = std::uint32_t (*)(const std::byte*, std::size_t, std::uint32_t);
+
+CrcFn engine_fn(Crc32cEngine engine) {
+  if (engine == Crc32cEngine::kSoftware) return &crc32c_soft_impl;
+  if (engine == Crc32cEngine::kHardware && crc32c_hw_usable()) return &crc32c_hw_impl;
+  return crc32c_hw_usable() ? &crc32c_hw_impl : &crc32c_soft_impl;  // kAuto
+}
+
+CrcFn detect_startup_engine() {
+  // RLIR_CRC32C=software|hardware forces an engine (CI exercises the
+  // fallback this way); anything else — including unset — is kAuto.
+  if (const char* env = std::getenv("RLIR_CRC32C")) {
+    const std::string_view want(env);
+    if (want == "software") return engine_fn(Crc32cEngine::kSoftware);
+    if (want == "hardware") return engine_fn(Crc32cEngine::kHardware);
+  }
+  return engine_fn(Crc32cEngine::kAuto);
+}
+
+/// The one-time dispatch target behind crc32c(); atomic only so tests may
+/// flip engines while other threads hash (relaxed: any torn-free value is a
+/// valid function, and both produce identical digests).
+std::atomic<CrcFn> g_crc32c_fn{detect_startup_engine()};
 
 }  // namespace
 
@@ -95,11 +209,24 @@ std::uint32_t jenkins_lookup3(std::span<const std::byte> data, std::uint32_t see
 }
 
 std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
-  std::uint32_t crc = ~seed;
-  for (const std::byte b : data) {
-    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
-  }
-  return ~crc;
+  return g_crc32c_fn.load(std::memory_order_relaxed)(data.data(), data.size(), seed);
+}
+
+std::uint32_t crc32c_software(std::span<const std::byte> data, std::uint32_t seed) {
+  return crc32c_soft_impl(data.data(), data.size(), seed);
+}
+
+bool crc32c_hardware_available() { return crc32c_hw_usable(); }
+
+Crc32cEngine set_crc32c_engine(Crc32cEngine engine) {
+  g_crc32c_fn.store(engine_fn(engine), std::memory_order_relaxed);
+  return active_crc32c_engine();
+}
+
+Crc32cEngine active_crc32c_engine() {
+  return g_crc32c_fn.load(std::memory_order_relaxed) == &crc32c_hw_impl
+             ? Crc32cEngine::kHardware
+             : Crc32cEngine::kSoftware;
 }
 
 }  // namespace rlir::net

@@ -1,10 +1,15 @@
 // Hash functions used across the stack:
 //  - FNV-1a and Jenkins lookup3 for flow tables and LDA bucket selection;
-//  - CRC-32C and xor-fold as stand-ins for vendor ECMP hash functions
+//  - CRC-32C for transport-frame integrity (transport/frame, docs/WIRE.md)
+//    and, with xor-fold, as stand-ins for vendor ECMP hash functions
 //    (Section 3.2: receivers that know the upstream routers' hash functions
 //    can "reverse" which next hop a packet was assigned to).
 //
-// All implementations are pure software, deterministic, and endian-stable.
+// Every function returns the same digest on every platform (deterministic,
+// endian-stable). CRC-32C additionally dispatches once at startup to the
+// fastest implementation the CPU offers — the SSE4.2 `crc32` instruction on
+// x86-64, the ARMv8 CRC extension on aarch64 — with a slice-by-8 software
+// table as the always-available fallback and cross-check reference.
 #pragma once
 
 #include <cstddef>
@@ -28,8 +33,34 @@ template <typename T>
 [[nodiscard]] std::uint32_t jenkins_lookup3(std::span<const std::byte> data,
                                             std::uint32_t seed = 0);
 
-/// CRC-32C (Castagnoli), software table-driven.
+/// CRC-32C (Castagnoli). Digests chain: crc32c(a+b) == crc32c(b, crc32c(a)).
+/// Served by the engine selected at startup (hardware where available); the
+/// digest is identical whichever engine runs.
 [[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+/// The software (slice-by-8, table-driven) implementation — the fallback on
+/// CPUs without a CRC instruction and the reference the hardware paths are
+/// cross-checked against in tests.
+[[nodiscard]] std::uint32_t crc32c_software(std::span<const std::byte> data,
+                                            std::uint32_t seed = 0);
+
+enum class Crc32cEngine : std::uint8_t {
+  kAuto,      ///< re-run detection: hardware when available, else software
+  kSoftware,  ///< force the table-driven path (CI coverage, A/B checks)
+  kHardware,  ///< the CPU CRC instruction; ignored when unavailable
+};
+
+/// True when the CPU advertises a CRC-32C instruction this build can use.
+[[nodiscard]] bool crc32c_hardware_available();
+
+/// Repoints the function pointer behind crc32c(). Returns the engine now
+/// active: asking for kHardware on a CPU without it keeps kSoftware. The
+/// startup default is kAuto, overridable by RLIR_CRC32C=software|hardware in
+/// the environment (forcing the fallback on CI runners).
+Crc32cEngine set_crc32c_engine(Crc32cEngine engine);
+
+/// The engine currently backing crc32c() (kSoftware or kHardware).
+[[nodiscard]] Crc32cEngine active_crc32c_engine();
 
 /// 16-bit xor-fold of a 32-bit word — the simplest hardware ECMP hash.
 [[nodiscard]] constexpr std::uint16_t xor_fold16(std::uint32_t x) {

@@ -33,6 +33,7 @@ CollectorAgent::CollectorAgent(CollectorAgentConfig config)
   if (config_.max_outbox_bytes == 0) {
     throw std::invalid_argument("CollectorAgent: zero max_outbox_bytes");
   }
+  read_chunk_.resize(config_.io_chunk);
   auto& r = obs_.registry();
   const obs::Labels base = obs_.labels();
   c_.connections = r.gauge("rlir_agent_connections", base);
@@ -85,15 +86,17 @@ std::size_t CollectorAgent::poll() {
 }
 
 std::size_t CollectorAgent::service(Connection& conn) {
-  std::vector<std::uint8_t> chunk(config_.io_chunk);
   for (;;) {
-    const std::size_t n = conn.stream->read_some(chunk.data(), chunk.size());
+    const std::size_t n = conn.stream->read_some(read_chunk_.data(), read_chunk_.size());
     if (n == 0) break;
-    conn.decoder.feed(chunk.data(), n);
+    conn.decoder.feed(read_chunk_.data(), n);
   }
   std::size_t frames = 0;
   try {
-    while (auto frame = conn.decoder.next()) {
+    // Views borrow the decoder's buffer; each is fully consumed by
+    // handle_frame before the loop asks for the next (and no feed() happens
+    // until the next service call), so the borrow is safe.
+    while (auto frame = conn.decoder.next_view()) {
       frames += 1;
       frames_received_ += 1;
       handle_frame(conn, *frame);
@@ -115,25 +118,30 @@ std::size_t CollectorAgent::service(Connection& conn) {
   return frames;
 }
 
-void CollectorAgent::handle_frame(Connection& conn, const Frame& frame) {
+void CollectorAgent::handle_frame(Connection& conn, const FrameView& frame) {
   switch (frame.type) {
     case FrameType::kRecordBatch: {
       // One payload carries coalesced batches back-to-back; the prefix
-      // decoder walks them without re-scanning.
-      const std::uint8_t* p = frame.payload.data();
-      std::size_t remaining = frame.payload.size();
+      // decoder walks them without re-scanning. Records are decoded as
+      // zero-copy views over the payload bytes (docs/WIRE.md) and merged
+      // straight into collector state — no EstimateRecord materialization
+      // on the ingest hot path.
+      const std::uint8_t* p = frame.payload;
+      std::size_t remaining = frame.size;
       while (remaining > 0) {
-        auto batch = collect::decode_records_prefix(p, remaining);
-        p += batch.bytes_consumed;
-        remaining -= batch.bytes_consumed;
+        view_scratch_.clear();
+        const std::size_t consumed =
+            collect::decode_record_views_prefix(p, remaining, view_scratch_);
+        p += consumed;
+        remaining -= consumed;
         batches_received_ += 1;
-        c_.batch_records->observe(static_cast<double>(batch.records.size()));
-        if (!batch.records.empty()) collector_.submit(std::move(batch.records));
+        c_.batch_records->observe(static_cast<double>(view_scratch_.size()));
+        if (!view_scratch_.empty()) collector_.submit_views(view_scratch_);
       }
       break;
     }
     case FrameType::kQuery: {
-      const auto query = decode_query(frame.payload.data(), frame.payload.size());
+      const auto query = decode_query(frame.payload, frame.size);
       // Counted before building the reply so a kStats answer includes the
       // query it is answering.
       queries_answered_ += 1;

@@ -7,13 +7,13 @@
 //   connections (sockets / loopback pipes)
 //        │ bytes                      ▲ kQueryReply frames
 //        ▼                            │
-//   FrameDecoder per connection ──────┤
+//   FrameDecoder per connection ──────┤   (zero-copy FrameViews)
 //        │ kRecordBatch payloads      │ kQuery frames
 //        ▼                            │
-//   decode_records_prefix loop ───────┘
-//        │ EstimateRecord batches
+//   decode_record_views_prefix loop ──┘
+//        │ RecordView batches (borrowing the frame payload; docs/WIRE.md)
 //        ▼
-//   ConcurrentShardedCollector (thread-per-shard ingest)
+//   ConcurrentShardedCollector (per-lane inline merge, no materialization)
 //
 // poll() is the single-threaded reactor step: accept pending connections,
 // read every readable byte, process complete frames, flush reply bytes.
@@ -44,8 +44,9 @@ namespace rlir::transport {
 struct CollectorAgentConfig {
   /// The shard group this process owns.
   collect::ConcurrentCollectorConfig collector;
-  /// Per-connection read granularity per poll().
-  std::size_t io_chunk = 64u << 10;
+  /// Per-connection read granularity per poll(). Sized to swallow a whole
+  /// default-coalesce client frame in one read.
+  std::size_t io_chunk = 512u << 10;
   /// Cap on a connection's unread reply bytes. A peer that keeps querying
   /// without reading replies is dropped like any other protocol violator —
   /// every other allocation on the untrusted input path is bounded, and
@@ -113,7 +114,7 @@ class CollectorAgent {
   /// Reads available bytes and processes the frames they complete; marks the
   /// connection dead on protocol violations.
   std::size_t service(Connection& conn);
-  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_frame(Connection& conn, const FrameView& frame);
   void flush_outbox(Connection& conn);
 
   CollectorAgentConfig config_;
@@ -141,6 +142,13 @@ class CollectorAgent {
     obs::Histogram* batch_records;
   };
   Cells c_{};
+
+  /// Reused across poll()s so the hot path allocates nothing per call: the
+  /// read buffer service() fills, and the RecordView scratch each record
+  /// batch is decoded into (views borrow the decoder's buffer and are
+  /// consumed before the next read). Single poll thread, so plain members.
+  std::vector<std::uint8_t> read_chunk_;
+  std::vector<collect::RecordView> view_scratch_;
 };
 
 }  // namespace rlir::transport

@@ -19,6 +19,7 @@ CollectorClient::CollectorClient(CollectorClientConfig config, StreamFactory fac
   if (!factory_) {
     throw std::invalid_argument("CollectorClient: null stream factory");
   }
+  reply_chunk_.resize(config_.io_chunk);
   auto& r = obs_.registry();
   const obs::Labels base = obs_.labels();
   c_.batches_submitted = r.counter("rlir_client_batches_submitted_total", base);
@@ -170,21 +171,41 @@ std::size_t CollectorClient::pump() {
   if (!ensure_connected()) return 0;
   std::size_t written = 0;
   while (!queue_.empty()) {
-    auto& front = queue_.front();
-    const std::size_t remaining = front.bytes.size() - front_offset_;
-    const std::size_t chunk = std::min(remaining, config_.io_chunk);
-    const std::size_t n = stream_->write_some(front.bytes.data() + front_offset_, chunk);
+    // Gather up to io_chunk bytes across queued frames — the front frame
+    // from its partial-write offset, whole frames after it — into one
+    // vectored write. Over a socket that is one writev/sendmsg syscall for
+    // the whole segment instead of one send per frame.
+    write_spans_.clear();
+    std::size_t gathered = 0;
+    for (std::size_t i = 0; i < queue_.size() && gathered < config_.io_chunk; ++i) {
+      const auto& frame = queue_[i];
+      const std::size_t offset = i == 0 ? front_offset_ : 0;
+      const std::size_t take = std::min(frame.bytes.size() - offset, config_.io_chunk - gathered);
+      write_spans_.push_back(ConstBuffer{frame.bytes.data() + offset, take});
+      gathered += take;
+    }
+    const std::size_t n = stream_->write_some_vectored(write_spans_.data(), write_spans_.size());
     if (n == 0) {
       // Full or died; a died stream is picked up by the next pump's dial.
       break;
     }
     written += n;
-    front_offset_ += n;
-    if (front_offset_ == front.bytes.size()) {
-      buffered_bytes_ -= front.bytes.size();
-      c_.frames_sent->increment();
-      queue_.pop_front();
-      front_offset_ = 0;
+    // Advance the queue past the bytes the stream took: complete frames pop,
+    // a trailing partial write becomes the new front offset.
+    std::size_t advanced = n;
+    while (advanced > 0) {
+      auto& front = queue_.front();
+      const std::size_t remaining = front.bytes.size() - front_offset_;
+      if (advanced >= remaining) {
+        advanced -= remaining;
+        buffered_bytes_ -= front.bytes.size();
+        c_.frames_sent->increment();
+        queue_.pop_front();
+        front_offset_ = 0;
+      } else {
+        front_offset_ += advanced;
+        advanced = 0;
+      }
     }
   }
   c_.bytes_sent->add(written);
@@ -223,11 +244,10 @@ void CollectorClient::send_query(const Query& query) {
 
 std::optional<QueryReply> CollectorClient::poll_reply() {
   if (!query_outstanding_ || stream_ == nullptr) return std::nullopt;
-  std::vector<std::uint8_t> chunk(config_.io_chunk);
   for (;;) {
-    const std::size_t n = stream_->read_some(chunk.data(), chunk.size());
+    const std::size_t n = stream_->read_some(reply_chunk_.data(), reply_chunk_.size());
     if (n == 0) break;
-    reply_decoder_.feed(chunk.data(), n);
+    reply_decoder_.feed(reply_chunk_.data(), n);
   }
   std::optional<Frame> frame;
   try {

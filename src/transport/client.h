@@ -45,16 +45,20 @@ struct CollectorClientConfig {
   /// Must be > 0.
   std::size_t max_buffered_bytes = 4u << 20;
   /// Seal the coalescing buffer into a frame once it holds this many payload
-  /// bytes. Smaller = lower latency, larger = fewer frames. Must be > 0.
-  std::size_t coalesce_bytes = 64u << 10;
+  /// bytes. Smaller = lower latency, larger = fewer frames (fewer CRC
+  /// finalizations and header decodes per record on the agent side). Must
+  /// be > 0.
+  std::size_t coalesce_bytes = 256u << 10;
   /// pump() calls to wait before the first reconnect attempt after a dial
   /// failure; doubles per failure up to reconnect_backoff_max. Counted in
   /// pump() calls (not wall time) so backoff is deterministic under test
   /// and paces with the driving cadence in deployment.
   std::uint32_t reconnect_backoff_initial = 1;
   std::uint32_t reconnect_backoff_max = 64;
-  /// Per-pump() I/O granularity.
-  std::size_t io_chunk = 64u << 10;
+  /// Per-pump() I/O granularity: the byte cap of one gather write (and the
+  /// reply read-chunk size). Sized to hold a whole default-coalesce frame so
+  /// the common case is one syscall per sealed frame.
+  std::size_t io_chunk = 512u << 10;
   /// Observability attachment (see obs/instrument.h). Null members = the
   /// client owns a private registry/trace; stats() works either way.
   obs::Instruments instruments;
@@ -204,6 +208,11 @@ class CollectorClient {
 
   FrameDecoder reply_decoder_;
   bool query_outstanding_ = false;
+
+  /// Reused scratch: pump()'s gather-write span list and poll_reply()'s read
+  /// chunk — neither path allocates per call.
+  std::vector<ConstBuffer> write_spans_;
+  std::vector<std::uint8_t> reply_chunk_;
 
   obs::Instrumented obs_;
   /// Registry cells (stable pointers). Hot-path updates are one relaxed

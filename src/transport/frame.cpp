@@ -59,6 +59,17 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
 }
 
 std::optional<Frame> FrameDecoder::next() {
+  auto view = next_view();
+  if (!view) return std::nullopt;
+  Frame frame;
+  frame.type = view->type;
+  frame.payload.assign(view->payload, view->payload + view->size);
+  return frame;
+}
+
+// Byte layout, CRC coverage, and the poisoning rules enforced here are
+// specified in docs/WIRE.md ("RLTF framing").
+std::optional<FrameView> FrameDecoder::next_view() {
   if (poisoned_) throw FrameError("FrameDecoder: stream already failed");
   if (buffer_.size() - consumed_ < kFrameHeaderSize) return std::nullopt;
 
@@ -97,11 +108,12 @@ std::optional<Frame> FrameDecoder::next() {
     poisoned_ = true;
     throw FrameError("Frame: payload CRC mismatch");
   }
-  Frame frame;
-  frame.type = static_cast<FrameType>(type);
-  frame.payload.assign(p, p + length);
+  FrameView view;
+  view.type = static_cast<FrameType>(type);
+  view.payload = p;
+  view.size = length;
   consumed_ += kFrameHeaderSize + length;
-  return frame;
+  return view;
 }
 
 }  // namespace rlir::transport

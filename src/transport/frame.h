@@ -51,6 +51,15 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// A complete frame whose payload is borrowed from the decoder's buffer
+/// (zero-copy). Valid until the decoder's next feed() — consume the frame
+/// before buffering more stream bytes, as a poll loop naturally does.
+struct FrameView {
+  FrameType type = FrameType::kRecordBatch;
+  const std::uint8_t* payload = nullptr;
+  std::size_t size = 0;
+};
+
 /// Thrown on malformed input: bad magic, unsupported version, unknown type,
 /// oversized length, or a payload failing its CRC.
 class FrameError : public std::runtime_error {
@@ -77,6 +86,12 @@ class FrameDecoder {
   /// throw the decoder is poisoned and every later next() rethrows — drop
   /// the connection.
   [[nodiscard]] std::optional<Frame> next();
+
+  /// Zero-copy next(): identical validation and poisoning, but the returned
+  /// payload borrows the decoder's buffer instead of copying out of it
+  /// (valid until the next feed()). The ingest hot path decodes records
+  /// straight out of this borrow.
+  [[nodiscard]] std::optional<FrameView> next_view();
 
   /// Bytes buffered but not yet consumed by a complete frame.
   [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }

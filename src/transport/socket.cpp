@@ -10,8 +10,10 @@
 
 #include <cerrno>
 #include <cstddef>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 #include <system_error>
 #include <utility>
 
@@ -73,6 +75,41 @@ class SocketStream final : public ByteStream {
     if (n > 0) return static_cast<std::size_t>(n);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return 0;
     close();  // EPIPE / ECONNRESET / anything else: the stream is done
+    return 0;
+  }
+
+  std::size_t write_some_vectored(const ConstBuffer* buffers, std::size_t count) override {
+    if (fd_ < 0 || count == 0) return 0;
+    // RLIR_VECTORED_IO=off falls back to the base one-span-at-a-time loop —
+    // the same escape hatch RLIR_CRC32C=software provides for the CRC
+    // dispatch: A/B the syscall batching at runtime (docs/PERFORMANCE.md)
+    // and sidestep it if a platform's sendmsg misbehaves.
+    static const bool disabled = [] {
+      const char* env = std::getenv("RLIR_VECTORED_IO");
+      return env != nullptr && std::string_view(env) == "off";
+    }();
+    if (disabled) return ByteStream::write_some_vectored(buffers, count);
+    // One sendmsg for the whole queue segment. iovec and ConstBuffer are not
+    // layout-compatible (iov_base is non-const void*), so spans are staged
+    // into a bounded on-stack array; a queue deeper than kMaxIov just takes
+    // another pump() round.
+    constexpr std::size_t kMaxIov = 64;
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    for (std::size_t i = 0; i < count && iov_count < kMaxIov; ++i) {
+      if (buffers[i].size == 0) continue;
+      iov[iov_count].iov_base = const_cast<std::uint8_t*>(buffers[i].data);
+      iov[iov_count].iov_len = buffers[i].size;
+      ++iov_count;
+    }
+    if (iov_count == 0) return 0;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return 0;
+    close();
     return 0;
   }
 

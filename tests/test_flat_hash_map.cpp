@@ -1,0 +1,139 @@
+// FlatHashMap: the std::unordered_map subset the collect/ tier depends on,
+// checked directly and against an unordered_map oracle under a randomized
+// insert/lookup/erase workload (growth, tombstone accumulation, and the
+// swap-and-pop erase fixup all get exercised).
+#include "common/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rlir::common {
+namespace {
+
+TEST(FlatHashMap, BasicInsertFindErase) {
+  FlatHashMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+
+  auto [it, inserted] = m.try_emplace(1, "one");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, "one");
+  auto [it2, inserted2] = m.try_emplace(1, "uno");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "one");  // try_emplace does not overwrite
+
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_EQ(m.at(2), "two");
+  EXPECT_THROW((void)m.at(3), std::out_of_range);
+
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.erase(1), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+}
+
+TEST(FlatHashMap, IteratorEraseRevisitsSlotAndVisitsAllOnce) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  // Erase the evens with the `it = m.erase(it)` loop; every entry must be
+  // considered exactly once despite swap-and-pop reordering.
+  std::vector<int> visited;
+  for (auto it = m.begin(); it != m.end();) {
+    visited.push_back(it->first);
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(visited.size(), 100u);
+  std::sort(visited.begin(), visited.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(visited[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(m.size(), 50u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.contains(i), i % 2 != 0) << i;
+}
+
+TEST(FlatHashMap, GrowthKeepsEverything) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 10000; ++i) m[i * 2654435761u] = i;
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const auto it = m.find(i * 2654435761u);
+    ASSERT_NE(it, m.end()) << i;
+    EXPECT_EQ(it->second, i);
+  }
+}
+
+TEST(FlatHashMap, TombstoneHeavyWorkloadStaysCorrect) {
+  // Insert/erase churn at a fixed population: tombstones accumulate and must
+  // be purged by rehash without losing live entries or resurrecting dead.
+  FlatHashMap<int, int> m;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) m[round * 64 + i] = round;
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(m.erase(round * 64 + i), 1u);
+  }
+  EXPECT_TRUE(m.empty());
+  m[42] = 1;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(42), 1);
+}
+
+TEST(FlatHashMap, ClearAndReserve) {
+  FlatHashMap<int, int> m;
+  m.reserve(1000);
+  for (int i = 0; i < 1000; ++i) m[i] = i;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), m.end());
+  m[5] = 50;
+  EXPECT_EQ(m.at(5), 50);
+}
+
+TEST(FlatHashMap, RandomizedOracleAgainstUnorderedMap) {
+  FlatHashMap<std::uint32_t, std::uint64_t> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t> oracle;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::uint32_t> keys(0, 2000);  // force collisions/reuse
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint32_t key = keys(rng);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // upsert
+        const std::uint64_t value = rng();
+        flat[key] = value;
+        oracle[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(flat.erase(key), oracle.erase(key));
+        break;
+      }
+      default: {  // lookup
+        const auto it = flat.find(key);
+        const auto oit = oracle.find(key);
+        ASSERT_EQ(it == flat.end(), oit == oracle.end()) << "key " << key;
+        if (oit != oracle.end()) EXPECT_EQ(it->second, oit->second);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), oracle.size());
+  }
+  // Full-content equivalence at the end.
+  for (const auto& [key, value] : flat) {
+    const auto oit = oracle.find(key);
+    ASSERT_NE(oit, oracle.end());
+    EXPECT_EQ(value, oit->second);
+  }
+}
+
+}  // namespace
+}  // namespace rlir::common
