@@ -27,6 +27,7 @@
 
 #include "collect/concurrent_collector.h"
 #include "collect/exporter.h"
+#include "collect/history.h"
 #include "collect/sharded_collector.h"
 #include "common/rng.h"
 #include "trace/synthetic.h"
@@ -103,7 +104,8 @@ double run_concurrent(const std::vector<std::uint8_t>& bytes, std::size_t batch_
 }
 
 int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epochs,
-        const std::vector<std::size_t>& thread_sweep, const std::string& json_path) {
+        const std::vector<std::size_t>& thread_sweep, bool history_churn,
+        const std::string& json_path) {
   // --- Stage 0: a realistic flow-skewed workload, persisted and then
   // streamed back (TraceReader::for_each keeps ingest memory flat).
   trace::SyntheticConfig trace_cfg;
@@ -189,6 +191,78 @@ int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epo
   const double owning_s = seconds_since(owning_start);
   print_metric("collector_rate_owning", total_records / owning_s, "records/s");
 
+  // --- Stage 3a: the same serial view-path ingest with the time-travel
+  // history store teed in — what keeping every epoch's raw delta log costs
+  // on the hot path (one mutex + raw-buffer body append per record; the
+  // default config keeps the bench's epochs raw, so no fold runs inside the
+  // timed loop). Plain/teed runs alternate and each reports its best pass:
+  // the overhead ratio is tens of ns per record, smaller than the drift
+  // between two one-shot loops on a shared machine.
+  const auto time_serial = [&](collect::ShardedCollector& c) {
+    const auto start = Clock::now();
+    for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+      views.clear();
+      collect::decode_record_views_prefix(bytes.data(), bytes.size(), views);
+      for (auto& v : views) {
+        v.epoch = epoch;
+        c.ingest(v);
+      }
+    }
+    return seconds_since(start);
+  };
+  const auto best_teed = [&](const collect::HistoryConfig& cfg, double* out_bytes,
+                             double* out_epochs, double* out_folds) {
+    double rate = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      collect::SketchHistoryStore history(cfg);
+      collect::ShardedCollector teed(collector_cfg);
+      teed.set_history(&history);
+      rate = std::max(rate, total_records / time_serial(teed));
+      if (out_bytes != nullptr) *out_bytes = static_cast<double>(history.approx_bytes());
+      if (out_epochs != nullptr) {
+        *out_epochs = static_cast<double>(history.epochs_retained());
+      }
+      if (out_folds != nullptr) *out_folds = static_cast<double>(history.compactions());
+    }
+    return rate;
+  };
+  double plain_rate = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    collect::ShardedCollector plain(collector_cfg);
+    plain_rate = std::max(plain_rate, total_records / time_serial(plain));
+  }
+  double history_bytes = 0.0;
+  double history_epochs = 0.0;
+  const double history_rate =
+      best_teed(collect::HistoryConfig{}, &history_bytes, &history_epochs, nullptr);
+  print_metric("collector_rate_history", history_rate, "records/s");
+  print_metric("history_overhead", plain_rate / history_rate, "x");
+  print_metric("history_bytes", history_bytes, "bytes");
+  print_metric("history_epochs", history_epochs, "epochs");
+
+  // --history: re-run with tiers shrunk so EVERY epoch boundary folds the
+  // raw log into the mid/coarse maps — the worst-case compaction tax (each
+  // fold re-merges the whole epoch, roughly a second ingest pass). Separate
+  // metrics, not baseline-gated: the ratio is workload-shaped, the hot-path
+  // number above is the regression gate.
+  if (history_churn) {
+    collect::HistoryConfig churn_cfg;
+    churn_cfg.raw_epochs = 1;
+    churn_cfg.mid_window = 2;
+    churn_cfg.mid_segments = 2;
+    churn_cfg.coarse_window = 4;
+    churn_cfg.coarse_segments = 2;
+    double churn_bytes = 0.0;
+    double churn_epochs = 0.0;
+    double churn_folds = 0.0;
+    const double churn_rate = best_teed(churn_cfg, &churn_bytes, &churn_epochs, &churn_folds);
+    print_metric("history_churn_throughput", churn_rate, "records/s");
+    print_metric("history_churn_overhead", plain_rate / churn_rate, "x");
+    print_metric("history_churn_bytes", churn_bytes, "bytes");
+    print_metric("history_churn_epochs", churn_epochs, "epochs");
+    print_metric("history_churn_compactions", churn_folds, "folds");
+  }
+
   // --- Stage 3b: threads-vs-throughput sweep over the concurrent collector
   // (thread-per-shard workers; producers decode in parallel too, exactly as
   // many networked vantage feeds would).
@@ -246,11 +320,14 @@ int main(int argc, char** argv) {
   std::size_t shards = 8;
   std::uint32_t epochs = 4;
   std::vector<std::size_t> thread_sweep = {1, 2, 4};
+  bool history_churn = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       packets = 2'000;
       epochs = 2;
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      history_churn = true;
     } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
       packets = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -265,11 +342,13 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--packets N] [--shards N] "
-                   "[--threads L1,L2,...] [--json PATH]\n",
+                   "usage: %s [--smoke] [--history] [--packets N] [--shards N] "
+                   "[--threads L1,L2,...] [--json PATH]\n"
+                   "  --history   shrink the history tiers so every epoch folds "
+                   "(compaction churn)\n",
                    argv[0]);
       return 2;
     }
   }
-  return rlir::run(packets, shards, epochs, thread_sweep, json_path);
+  return rlir::run(packets, shards, epochs, thread_sweep, history_churn, json_path);
 }

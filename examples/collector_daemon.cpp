@@ -21,8 +21,10 @@
 #include <string>
 #include <thread>
 
+#include "collect/slo_watcher.h"
 #include "obs/exposition.h"
 #include "transport/agent.h"
+#include "transport/http_metrics.h"
 #include "transport/socket.h"
 
 namespace {
@@ -35,9 +37,13 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --listen (tcp:HOST:PORT | unix:PATH) [--shards N] "
                "[--idle-exit-ms MS] [--metrics] [--metrics-every EPOCHS] [--quiet]\n"
+               "          [--http ADDR] [--history] [--slo-ns NS]\n"
                "  --metrics             dump the Prometheus scrape on exit\n"
                "  --metrics-every N     stderr health line every N ingested epochs (default 8)\n"
-               "  --quiet               suppress the periodic health line\n",
+               "  --quiet               suppress the periodic health line\n"
+               "  --http ADDR           serve GET /metrics (Prometheus text) on ADDR\n"
+               "  --history             keep the epoch history store (kWindow* queries)\n"
+               "  --slo-ns NS           watch windowed p99 > NS per flow (implies --history)\n",
                argv0);
   return 2;
 }
@@ -68,6 +74,9 @@ int main(int argc, char** argv) {
   bool dump_metrics = false;
   bool quiet = false;
   unsigned long metrics_every = 8;
+  std::string http_text;
+  bool enable_history = false;
+  double slo_ns = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen_text = argv[++i];
@@ -81,6 +90,13 @@ int main(int argc, char** argv) {
       metrics_every = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      enable_history = true;
+    } else if (std::strcmp(argv[i], "--slo-ns") == 0 && i + 1 < argc) {
+      slo_ns = std::strtod(argv[++i], nullptr);
+      enable_history = true;  // the watcher reads the store
     } else {
       return usage(argv[0]);
     }
@@ -92,12 +108,37 @@ int main(int argc, char** argv) {
     const auto address = transport::SocketAddress::parse(listen_text);
     transport::CollectorAgentConfig cfg;
     cfg.collector.shard_count = shards;
+    cfg.enable_history = enable_history;
     transport::CollectorAgent agent(cfg);
     auto listener = std::make_unique<transport::SocketListener>(address);
     std::printf("collector_daemon: listening on %s (%zu shards, thread-per-shard ingest)\n",
                 listener->address().to_string().c_str(), shards);
     std::fflush(stdout);
     agent.set_listener(std::move(listener));
+
+    std::unique_ptr<transport::HttpMetricsServer> http;
+    if (!http_text.empty()) {
+      auto http_listener = std::make_unique<transport::SocketListener>(
+          transport::SocketAddress::parse(http_text));
+      std::printf("collector_daemon: GET /metrics on %s\n",
+                  http_listener->address().to_string().c_str());
+      http = std::make_unique<transport::HttpMetricsServer>(
+          std::move(http_listener), [&agent] {
+            auto scrape = agent.scrape();
+            obs::append_event_counters(scrape.metrics, scrape.events);
+            return obs::to_prometheus(scrape.metrics);
+          });
+    }
+    std::unique_ptr<collect::SloWatcher> watcher;
+    if (slo_ns > 0.0) {
+      collect::SloWatcherConfig wcfg;
+      wcfg.threshold_ns = slo_ns;
+      wcfg.instruments.registry = &agent.metrics();
+      wcfg.instruments.trace = &agent.events();
+      watcher = std::make_unique<collect::SloWatcher>(wcfg, agent.history());
+      std::printf("collector_daemon: SLO watch p%.0f > %.0f ns over %zu-epoch windows\n",
+                  wcfg.quantile * 100.0, slo_ns, wcfg.window_epochs);
+    }
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -110,6 +151,20 @@ int main(int argc, char** argv) {
     std::uint64_t next_health_epoch = metrics_every;
     while (!g_stop.load(std::memory_order_relaxed)) {
       const std::size_t frames = agent.poll();
+      if (http != nullptr) http->poll();
+      if (watcher != nullptr) {
+        for (const auto& v : watcher->poll()) {
+          std::fprintf(stderr, "SLO VIOLATION %s  p%.0f %.1fus > %.1fus  window [%u,%u]\n",
+                       v.key.to_string().c_str(), watcher->config().quantile * 100.0,
+                       v.value_ns / 1e3, v.threshold_ns / 1e3, v.window_first, v.window_last);
+          for (const auto& f : v.findings) {
+            if (f.anomalous) {
+              std::fprintf(stderr, "  likely culprit: %s (score %.2f)\n", f.segment.c_str(),
+                           f.score);
+            }
+          }
+        }
+      }
       if (agent.connection_count() > 0) saw_connection = true;
       if (frames > 0 || agent.connection_count() > 0) {
         last_activity = Clock::now();

@@ -12,12 +12,16 @@
 //
 // Run without --connect and it spins up `--agents N` (default 4)
 // in-process agents over loopback pipes — same protocol bytes, no daemons.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "collect/epoch_scheduler.h"
@@ -31,14 +35,19 @@
 #include "trace/synthetic.h"
 #include "transport/agent.h"
 #include "transport/coordinator.h"
+#include "transport/http_metrics.h"
 #include "transport/partitioned_client.h"
 #include "transport/socket.h"
 
 namespace rlir {
 namespace {
 
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
 int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
-        bool dump_metrics) {
+        bool dump_metrics, const std::string& http_text) {
   using timebase::Duration;
 
   // --- The fleet: dialed daemons, or in-process agents on loopback pipes.
@@ -214,6 +223,27 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
     std::printf("\n# fleet metrics (merged from %zu agents)\n", coord.connected_count());
     std::fputs(obs::to_prometheus(scrape.metrics).c_str(), stdout);
   }
+
+  if (!http_text.empty()) {
+    // Keep serving the merged fleet scrape over HTTP until signalled — each
+    // GET /metrics triggers a fresh kMetrics fan-out, so the scrape is live.
+    auto http_listener = std::make_unique<transport::HttpMetricsServer>(
+        std::make_unique<transport::SocketListener>(transport::SocketAddress::parse(http_text)),
+        [&coord] {
+          auto scrape = coord.fleet_metrics();
+          obs::append_event_counters(scrape.metrics, scrape.events);
+          return obs::to_prometheus(scrape.metrics);
+        });
+    std::printf("\nserving merged GET /metrics on %s (Ctrl-C to exit)\n", http_text.c_str());
+    std::fflush(stdout);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      const std::size_t served = http_listener->poll();
+      poll_local();
+      if (served == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   return conserved ? 0 : 1;
 }
 
@@ -224,6 +254,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> connect_texts;
   std::size_t n_agents = 4;
   bool dump_metrics = false;
+  std::string http_text;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -235,18 +266,21 @@ int main(int argc, char** argv) {
       n_agents = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_text = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--connect ADDR[,ADDR...]] [--agents N] [--metrics]\n"
+                   "usage: %s [--connect ADDR[,ADDR...]] [--agents N] [--metrics] [--http ADDR]\n"
                    "  ADDR = tcp:HOST:PORT | unix:PATH\n"
-                   "  --metrics   dump the merged fleet scrape (Prometheus text)\n",
+                   "  --metrics   dump the merged fleet scrape (Prometheus text)\n"
+                   "  --http ADDR serve the merged scrape as GET /metrics until Ctrl-C\n",
                    argv[0]);
       return 2;
     }
   }
   if (n_agents == 0) return 2;
   try {
-    return rlir::run(connect_texts, n_agents, dump_metrics);
+    return rlir::run(connect_texts, n_agents, dump_metrics, http_text);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet_coordinator: %s\n", e.what());
     return 1;

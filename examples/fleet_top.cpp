@@ -11,6 +11,7 @@
 // in-process agents fed a synthetic workload over loopback pipes — same
 // scrape bytes, no daemons. --prom / --json switch the output to the raw
 // merged exposition (what a monitoring system would ingest).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,14 +54,32 @@ std::uint64_t counter_total(const obs::MetricsSnapshot& snap, const char* name) 
   return total;
 }
 
+/// "E1:E2" -> inclusive epoch window; false on malformed text.
+bool parse_window(const char* text, std::uint32_t* first, std::uint32_t* last) {
+  char* end = nullptr;
+  const unsigned long e1 = std::strtoul(text, &end, 10);
+  if (end == text || *end != ':') return false;
+  const char* rest = end + 1;
+  const unsigned long e2 = std::strtoul(rest, &end, 10);
+  if (end == rest || *end != '\0') return false;
+  *first = static_cast<std::uint32_t>(e1);
+  *last = static_cast<std::uint32_t>(e2);
+  return true;
+}
+
 int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
-        bool prom, bool json) {
+        bool prom, bool json, bool windowed, std::uint32_t window_first,
+        std::uint32_t window_last) {
   // --- The fleet: dialed daemons, or demo agents fed a synthetic workload.
   std::vector<std::unique_ptr<transport::CollectorAgent>> local_agents;
   std::vector<transport::CollectorClient::StreamFactory> factories;
   if (connect_texts.empty()) {
     for (std::size_t i = 0; i < n_agents; ++i) {
-      local_agents.push_back(std::make_unique<transport::CollectorAgent>());
+      // Demo agents keep history so --window has something to answer
+      // (daemons need their own --history flag).
+      transport::CollectorAgentConfig cfg;
+      cfg.enable_history = true;
+      local_agents.push_back(std::make_unique<transport::CollectorAgent>(cfg));
       factories.push_back([&local_agents, i]() {
         auto [client_end, agent_end] = transport::make_loopback();
         local_agents[i]->add_connection(std::move(agent_end));
@@ -167,6 +186,26 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
                     counter_total(s.metrics, "rlir_agent_connections_accepted_total")),
                 static_cast<unsigned long long>(s.events.count(obs::EventKind::kDisconnect)));
   }
+
+  if (windowed) {
+    // Time-travel query: the kWindowFleet fan-out over each agent's history
+    // store, merged bin-for-bin with honest coverage labeling.
+    std::printf("\nfleet latency over epoch window [%u, %u]:\n", window_first, window_last);
+    const auto result = coord.window_fleet(window_first, window_last);
+    if (!result.window.covered || !result.sketch.has_value()) {
+      std::printf("  no covered history — run the daemons with --history, or the window "
+                  "was evicted\n");
+    } else {
+      const auto& sketch = *result.sketch;
+      std::printf("  covered [%u, %u] (%s, %llu records)\n", result.window.first,
+                  result.window.last, result.window.complete ? "complete" : "PARTIAL",
+                  static_cast<unsigned long long>(result.window.records));
+      std::printf("  p50 %8.1fus  p90 %8.1fus  p99 %8.1fus  max %8.1fus  (%llu estimates)\n",
+                  sketch.quantile(0.5) / 1e3, sketch.quantile(0.9) / 1e3,
+                  sketch.quantile(0.99) / 1e3, sketch.max() / 1e3,
+                  static_cast<unsigned long long>(sketch.count()));
+    }
+  }
   return 0;
 }
 
@@ -178,6 +217,9 @@ int main(int argc, char** argv) {
   std::size_t n_agents = 3;
   bool prom = false;
   bool json = false;
+  bool windowed = false;
+  std::uint32_t window_first = 0;
+  std::uint32_t window_last = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -191,18 +233,26 @@ int main(int argc, char** argv) {
       prom = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      if (!rlir::parse_window(argv[++i], &window_first, &window_last)) {
+        std::fprintf(stderr, "fleet_top: --window expects E1:E2 (epoch ids)\n");
+        return 2;
+      }
+      windowed = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--connect ADDR[,ADDR...]] [--agents N] [--prom | --json]\n"
+                   "          [--window E1:E2]\n"
                    "  ADDR = tcp:HOST:PORT | unix:PATH\n"
-                   "  --prom / --json   raw merged exposition instead of the report\n",
+                   "  --prom / --json   raw merged exposition instead of the report\n"
+                   "  --window E1:E2    append the fleet latency over an epoch window\n",
                    argv[0]);
       return 2;
     }
   }
   if (n_agents == 0) return 2;
   try {
-    return rlir::run(connect_texts, n_agents, prom, json);
+    return rlir::run(connect_texts, n_agents, prom, json, windowed, window_first, window_last);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet_top: %s\n", e.what());
     return 1;

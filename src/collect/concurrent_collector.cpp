@@ -193,6 +193,19 @@ void ConcurrentShardedCollector::quiesce() {
   }
 }
 
+void ConcurrentShardedCollector::set_history(SketchHistoryStore* history) {
+  quiesce();
+  for (auto& lane : lanes_) {
+    const std::lock_guard<std::mutex> lock(lane->state_mu);
+    lane->state.set_history(history);
+  }
+}
+
+SketchHistoryStore* ConcurrentShardedCollector::history() {
+  const std::lock_guard<std::mutex> lock(lanes_.front()->state_mu);
+  return lanes_.front()->state.history();
+}
+
 std::optional<double> ConcurrentShardedCollector::flow_quantile(const net::FiveTuple& key,
                                                                 double q) {
   quiesce();

@@ -100,6 +100,14 @@ class ConcurrentShardedCollector {
   /// implicitly.
   void quiesce();
 
+  /// Attaches a history store tee to every lane (see
+  /// ShardedCollector::set_history); the store is internally synchronized,
+  /// so lanes share one safely. Quiesces first, so records submitted before
+  /// the call land entirely on the old attachment (or none) and records
+  /// submitted after land on the new one. Null detaches.
+  void set_history(SketchHistoryStore* history);
+  [[nodiscard]] SketchHistoryStore* history();
+
   // --- Queries (each quiesces, then reads under the lane locks) -----------
 
   [[nodiscard]] std::optional<double> flow_quantile(const net::FiveTuple& key, double q);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "collect/history.h"
+
 namespace rlir::collect {
 
 EpochScheduler::EpochScheduler(EpochSchedulerConfig config)
@@ -41,6 +43,11 @@ void EpochScheduler::add_epoch_hook(EpochHook hook) {
   hooks_.push_back(std::move(hook));
 }
 
+void EpochScheduler::set_history(SketchHistoryStore* history) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  history_ = history;
+}
+
 void EpochScheduler::deliver_locked(std::uint32_t epoch,
                                     const std::vector<EstimateRecord>& batch) {
   if (batch.empty()) return;
@@ -55,6 +62,9 @@ std::uint32_t EpochScheduler::fire_locked() {
   // a deterministic sequence run after run.
   const std::uint64_t before = records_delivered_->value();
   for (auto* exporter : exporters_) deliver_locked(epoch, exporter->drain(epoch));
+  // After the drains: the sinks have teed this epoch's records, so sealing
+  // the store's clock now can only advance it, never orphan records.
+  if (history_ != nullptr) history_->note_epoch(epoch);
   epochs_fired_->increment();
   obs_.trace().record(obs::EventKind::kEpochFlush, records_delivered_->value() - before,
                       "epoch " + std::to_string(epoch));

@@ -34,6 +34,8 @@
 
 namespace rlir::collect {
 
+class SketchHistoryStore;
+
 struct EpochSchedulerConfig {
   /// Epoch length on the driving clock. Boundaries sit on the grid
   /// period, 2·period, ... (sim mode) or every period of real time (wall
@@ -73,6 +75,12 @@ class EpochScheduler {
   void add_exporter(EstimateExporter* exporter);
   void add_sink(BatchSink sink);
   void add_epoch_hook(EpochHook hook);
+
+  /// Attaches a history store (borrowed, null detaches): every fired epoch
+  /// calls note_epoch AFTER the exporters drain, so the store's clock
+  /// advances through idle epochs and compaction keeps pace even when no
+  /// records flow.
+  void set_history(SketchHistoryStore* history);
 
   // --- Sim-clock driving ---------------------------------------------------
 
@@ -121,6 +129,7 @@ class EpochScheduler {
   std::vector<EstimateExporter*> exporters_;
   std::vector<BatchSink> sinks_;
   std::vector<EpochHook> hooks_;
+  SketchHistoryStore* history_ = nullptr;
   std::uint32_t next_epoch_;
   timebase::TimePoint next_boundary_;
   timebase::TimePoint last_advance_;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <iterator>
 #include <ostream>
@@ -214,6 +215,55 @@ void merge_sketch_view(common::LatencySketch& dst, const SketchView& view) {
 
 std::size_t wire_size(const EstimateRecord& record) {
   return kKeyedFixedSize + sketch_wire_size(record.sketch);
+}
+
+std::size_t wire_size(const RecordView& record) {
+  return kKeyedFixedSize + kSketchFixedSize +
+         static_cast<std::size_t>(record.sketch.bin_count) * kBinSize;
+}
+
+void append_record_body(std::vector<std::uint8_t>& out, const EstimateRecord& record) {
+  const std::size_t n = wire_size(record);
+  out.resize(out.size() + n);
+  encode_record_body(record, out.data() + (out.size() - n));
+}
+
+void append_record_body(std::vector<std::uint8_t>& out, const RecordView& record) {
+  const std::size_t n = wire_size(record);
+  out.resize(out.size() + n);
+  encode_record_body(record, out.data() + (out.size() - n));
+}
+
+void encode_record_body(const EstimateRecord& record, std::uint8_t* out) {
+  encode_record(record, out);
+}
+
+void encode_record_body(const RecordView& record, std::uint8_t* out) {
+  const std::size_t bin_bytes = static_cast<std::size_t>(record.sketch.bin_count) * kBinSize;
+  std::uint8_t* p = out;
+  put<std::uint32_t>(p, record.key.src.value());
+  put<std::uint32_t>(p, record.key.dst.value());
+  put<std::uint16_t>(p, record.key.src_port);
+  put<std::uint16_t>(p, record.key.dst_port);
+  put<std::uint8_t>(p, record.key.proto);
+  put<std::uint32_t>(p, record.link);
+  put<std::uint16_t>(p, record.sender);
+  put<std::uint32_t>(p, record.epoch);
+  put_f64(p, record.sketch.relative_accuracy);
+  put<std::uint32_t>(p, record.sketch.max_bins);
+  put<std::uint64_t>(p, record.sketch.zero_count);
+  put_f64(p, record.sketch.sum);
+  put_f64(p, record.sketch.min);
+  put_f64(p, record.sketch.max);
+  put<std::uint32_t>(p, record.sketch.bin_count);
+  std::memcpy(p, record.sketch.bins, bin_bytes);
+}
+
+void decode_record_body_views(const std::uint8_t* data, std::size_t size,
+                              std::vector<RecordView>& out) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* end = data + size;
+  while (p != end) out.push_back(decode_record_view(p, end));
 }
 
 std::vector<std::uint8_t> encode_records(const std::vector<EstimateRecord>& records) {

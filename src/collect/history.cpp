@@ -1,0 +1,617 @@
+#include "collect/history.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rlir::collect {
+
+namespace {
+
+/// Fixed accounting charge per retained segment (struct + container nodes);
+/// the variable part is the raw log's bytes or the compacted sketches'.
+constexpr std::size_t kSegmentOverhead = sizeof(std::uint64_t) * 8 + 128;
+
+[[nodiscard]] std::uint32_t window_id(std::uint32_t epoch, std::size_t window) {
+  return epoch / static_cast<std::uint32_t>(window);
+}
+
+}  // namespace
+
+SketchHistoryStore::SketchHistoryStore(HistoryConfig config)
+    : config_(config), obs_(config.instruments) {
+  if (config_.raw_epochs == 0) {
+    throw std::invalid_argument("SketchHistoryStore: raw_epochs must be >= 1");
+  }
+  if (config_.mid_window == 0) {
+    throw std::invalid_argument("SketchHistoryStore: mid_window must be >= 1");
+  }
+  if (config_.mid_segments == 0 || config_.coarse_segments == 0) {
+    throw std::invalid_argument("SketchHistoryStore: tier segment counts must be >= 1");
+  }
+  if (config_.coarse_window == 0 || config_.coarse_window % config_.mid_window != 0) {
+    throw std::invalid_argument(
+        "SketchHistoryStore: coarse_window must be a positive multiple of mid_window");
+  }
+  if (config_.max_epoch_jump == 0) {
+    throw std::invalid_argument("SketchHistoryStore: max_epoch_jump must be >= 1");
+  }
+  // Validates the accuracy range the same way every sketch consumer does.
+  (void)common::LatencySketch(config_.sketch);
+
+  auto& r = obs_.registry();
+  const obs::Labels base = obs_.labels();
+  c_.bytes = r.gauge("rlir_history_bytes", base);
+  c_.epochs = r.gauge("rlir_history_epochs", base);
+  c_.records = r.counter("rlir_history_records_total", base);
+  c_.compactions = r.counter("rlir_history_compactions_total", base);
+  c_.evictions = r.counter("rlir_history_evictions_total", base);
+  c_.late = r.counter("rlir_history_late_records_total", base);
+  c_.dropped = r.counter("rlir_history_dropped_records_total", base);
+}
+
+common::LatencySketchConfig SketchHistoryStore::compact_config() const {
+  common::LatencySketchConfig cfg = config_.sketch;
+  if (config_.retained_max_bins != 0) cfg.max_bins = config_.retained_max_bins;
+  return cfg;
+}
+
+bool SketchHistoryStore::admit_epoch_locked(std::uint32_t epoch) {
+  if (!any_) {
+    any_ = true;
+    last_seen_ = epoch;
+    raw_first_ = epoch;
+    raw_.emplace_back();
+    raw_.back().first = raw_.back().last = epoch;
+    raw_.back().bytes = kSegmentOverhead;
+    total_bytes_ += kSegmentOverhead;
+    return true;
+  }
+  if (epoch <= last_seen_) {
+    // Early records: a store fed by flow-hash spray may see its first record
+    // mid-stream, so epochs BELOW the first-seen one can still arrive. Grow
+    // the raw window backwards while nothing has ever been folded or evicted
+    // — the fleet exactness contract (partitioned agents merge bin-for-bin
+    // to one collector's answer) depends on every agent retaining the same
+    // epoch range regardless of per-agent arrival order.
+    if (epoch < raw_first_ && !discarded_ &&
+        static_cast<std::uint64_t>(last_seen_) - epoch < config_.raw_epochs) {
+      while (raw_first_ > epoch) {
+        raw_first_ -= 1;
+        raw_.emplace_front();
+        raw_.front().first = raw_.front().last = raw_first_;
+        raw_.front().bytes = kSegmentOverhead;
+        total_bytes_ += kSegmentOverhead;
+      }
+      enforce_bytes_locked();  // backfill respects max_bytes like any growth
+    }
+    return true;
+  }
+  if (epoch - last_seen_ > config_.max_epoch_jump) return false;
+  while (last_seen_ < epoch) {
+    ++last_seen_;
+    raw_.emplace_back();
+    raw_.back().first = raw_.back().last = last_seen_;
+    raw_.back().bytes = kSegmentOverhead;
+    total_bytes_ += kSegmentOverhead;
+    while (raw_.size() > config_.raw_epochs) fold_oldest_raw_locked();
+  }
+  enforce_bytes_locked();
+  flush_cells_locked();  // epoch boundary: publish the deferred cells
+  return true;
+}
+
+void SketchHistoryStore::fold_oldest_raw_locked() {
+  Segment src = std::move(raw_.front());
+  raw_.pop_front();
+  raw_first_ += 1;
+  discarded_ = true;  // the folded epoch's raw log is gone for good
+  total_bytes_ -= src.bytes;
+
+  const std::uint32_t w = window_id(src.first, config_.mid_window);
+  if (mid_.empty() || window_id(mid_.back().first, config_.mid_window) != w) {
+    mid_.emplace_back();
+    mid_.back().first = mid_.back().last = src.first;
+    mid_.back().bytes = kSegmentOverhead;
+    total_bytes_ += kSegmentOverhead;
+  }
+  Segment& dst = mid_.back();
+  if (!src.log.empty()) {
+    std::vector<RecordView> views;
+    const auto cfg = compact_config();
+    for (const auto& chunk : src.log.chunks()) {
+      views.clear();
+      decode_record_body_views(chunk.data.get(), chunk.used, views);
+      for (const auto& v : views) {
+        auto [fit, f_new] = dst.flows.try_emplace(v.key, common::LatencySketch(cfg));
+        (void)f_new;
+        merge_sketch_view(fit->second, v.sketch);
+        auto [lit, l_new] = dst.links.try_emplace(v.link, common::LatencySketch(cfg));
+        (void)l_new;
+        merge_sketch_view(lit->second, v.sketch);
+      }
+    }
+  }
+  dst.last = src.last;
+  dst.records += src.records;
+  total_bytes_ -= dst.bytes;
+  dst.bytes = map_segment_bytes_locked(dst);
+  total_bytes_ += dst.bytes;
+  c_.compactions->increment();
+
+  while (mid_.size() > config_.mid_segments) fold_oldest_mid_locked();
+}
+
+void SketchHistoryStore::fold_oldest_mid_locked() {
+  Segment src = std::move(mid_.front());
+  mid_.pop_front();
+  total_bytes_ -= src.bytes;
+
+  const std::uint32_t w = window_id(src.first, config_.coarse_window);
+  if (coarse_.empty() || window_id(coarse_.back().first, config_.coarse_window) != w) {
+    coarse_.emplace_back();
+    coarse_.back().first = coarse_.back().last = src.first;
+    coarse_.back().bytes = kSegmentOverhead;
+    total_bytes_ += kSegmentOverhead;
+  }
+  Segment& dst = coarse_.back();
+  merge_maps_into_locked(dst, src);
+  dst.last = src.last;
+  dst.records += src.records;
+  total_bytes_ -= dst.bytes;
+  dst.bytes = map_segment_bytes_locked(dst);
+  total_bytes_ += dst.bytes;
+  c_.compactions->increment();
+
+  while (coarse_.size() > config_.coarse_segments) evict_front_locked(coarse_);
+}
+
+void SketchHistoryStore::merge_maps_into_locked(Segment& dst, const Segment& src) const {
+  const auto cfg = compact_config();
+  for (const auto& [key, sketch] : src.flows) {
+    auto [it, added] = dst.flows.try_emplace(key, common::LatencySketch(cfg));
+    (void)added;
+    it->second.merge(sketch);
+  }
+  for (const auto& [link, sketch] : src.links) {
+    auto [it, added] = dst.links.try_emplace(link, common::LatencySketch(cfg));
+    (void)added;
+    it->second.merge(sketch);
+  }
+}
+
+void SketchHistoryStore::evict_front_locked(std::deque<Segment>& tier) {
+  total_bytes_ -= tier.front().bytes;
+  tier.pop_front();
+  discarded_ = true;
+  c_.evictions->increment();
+}
+
+void SketchHistoryStore::enforce_bytes_locked() {
+  if (config_.max_bytes == 0) return;
+  while (total_bytes_ > config_.max_bytes) {
+    if (!coarse_.empty()) {
+      evict_front_locked(coarse_);
+    } else if (!mid_.empty()) {
+      evict_front_locked(mid_);
+    } else if (raw_.size() > 1) {
+      // Never evict the newest raw epoch (still filling); dropping the
+      // oldest keeps retained coverage contiguous.
+      total_bytes_ -= raw_.front().bytes;
+      raw_.pop_front();
+      raw_first_ += 1;
+      discarded_ = true;
+      c_.evictions->increment();
+    } else {
+      break;  // a single in-flight epoch may exceed a tiny bound
+    }
+  }
+}
+
+std::size_t SketchHistoryStore::map_segment_bytes_locked(const Segment& seg) const {
+  std::size_t bytes = kSegmentOverhead + seg.log.size();
+  for (const auto& [key, sketch] : seg.flows) {
+    bytes += sizeof(key) + sketch.approx_bytes();
+  }
+  for (const auto& [link, sketch] : seg.links) {
+    bytes += sizeof(link) + sketch.approx_bytes();
+  }
+  return bytes;
+}
+
+std::uint32_t SketchHistoryStore::oldest_retained_locked() const {
+  if (!coarse_.empty()) return coarse_.front().first;
+  if (!mid_.empty()) return mid_.front().first;
+  return raw_first_;
+}
+
+void SketchHistoryStore::flush_cells_locked() const {
+  if (records_pending_ != 0) {
+    c_.records->add(records_pending_);
+    records_pending_ = 0;
+  }
+  c_.bytes->set(static_cast<std::int64_t>(total_bytes_));
+  const std::size_t epochs =
+      any_ ? static_cast<std::size_t>(last_seen_ - oldest_retained_locked()) + 1 : 0;
+  c_.epochs->set(static_cast<std::int64_t>(epochs));
+}
+
+// --- Ingest ----------------------------------------------------------------
+
+namespace {
+
+/// Merges one late record into a compacted segment's maps.
+template <typename Maps, typename SketchLike, typename MergeFn>
+void late_merge(Maps& map, const SketchLike& key_or_link, common::LatencySketchConfig cfg,
+                MergeFn&& merge) {
+  auto [it, added] = map.try_emplace(key_or_link, common::LatencySketch(cfg));
+  (void)added;
+  merge(it->second);
+}
+
+}  // namespace
+
+void SketchHistoryStore::ingest(const EstimateRecord& record) {
+  if (record.sketch.config().relative_accuracy != config_.sketch.relative_accuracy) {
+    throw std::invalid_argument(
+        "SketchHistoryStore::ingest: record sketch accuracy differs from history config");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit_epoch_locked(record.epoch)) {
+    c_.dropped->increment();
+    return;
+  }
+  if (record.epoch >= raw_first_) {
+    Segment& seg = raw_[record.epoch - raw_first_];
+    const std::size_t added = wire_size(record);
+    encode_record_body(record, seg.log.append_raw(added));
+    seg.bytes += added;
+    total_bytes_ += added;
+    seg.records += 1;
+    records_pending_ += 1;
+    enforce_bytes_locked();
+  } else {
+    Segment* late = nullptr;
+    for (auto* tier : {&mid_, &coarse_}) {
+      auto it = std::lower_bound(
+          tier->begin(), tier->end(), record.epoch,
+          [](const Segment& s, std::uint32_t e) { return s.last < e; });
+      if (it != tier->end() && it->first <= record.epoch) {
+        late = &*it;
+        break;
+      }
+    }
+    if (late == nullptr) {
+      c_.dropped->increment();  // older than everything retained
+    } else {
+      const auto cfg = compact_config();
+      late_merge(late->flows, record.key, cfg,
+                 [&](common::LatencySketch& s) { s.merge(record.sketch); });
+      late_merge(late->links, record.link, cfg,
+                 [&](common::LatencySketch& s) { s.merge(record.sketch); });
+      late->records += 1;
+      total_bytes_ -= late->bytes;
+      late->bytes = map_segment_bytes_locked(*late);
+      total_bytes_ += late->bytes;
+      records_pending_ += 1;
+      c_.late->increment();
+      enforce_bytes_locked();
+    }
+  }
+}
+
+void SketchHistoryStore::ingest(const RecordView& record) {
+  if (record.sketch.relative_accuracy != config_.sketch.relative_accuracy) {
+    throw std::invalid_argument(
+        "SketchHistoryStore::ingest: record sketch accuracy differs from history config");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_view_locked(record);
+}
+
+void SketchHistoryStore::ingest_view_locked(const RecordView& record) {
+  if (!admit_epoch_locked(record.epoch)) {
+    c_.dropped->increment();
+    return;
+  }
+  if (record.epoch >= raw_first_) {
+    Segment& seg = raw_[record.epoch - raw_first_];
+    const std::size_t added = wire_size(record);
+    encode_record_body(record, seg.log.append_raw(added));
+    seg.bytes += added;
+    total_bytes_ += added;
+    seg.records += 1;
+    records_pending_ += 1;
+    enforce_bytes_locked();
+    return;
+  }
+  Segment* late = nullptr;
+  for (auto* tier : {&mid_, &coarse_}) {
+    auto it = std::lower_bound(tier->begin(), tier->end(), record.epoch,
+                               [](const Segment& s, std::uint32_t e) { return s.last < e; });
+    if (it != tier->end() && it->first <= record.epoch) {
+      late = &*it;
+      break;
+    }
+  }
+  if (late == nullptr) {
+    c_.dropped->increment();
+    return;
+  }
+  const auto cfg = compact_config();
+  late_merge(late->flows, record.key, cfg,
+             [&](common::LatencySketch& s) { merge_sketch_view(s, record.sketch); });
+  late_merge(late->links, record.link, cfg,
+             [&](common::LatencySketch& s) { merge_sketch_view(s, record.sketch); });
+  late->records += 1;
+  total_bytes_ -= late->bytes;
+  late->bytes = map_segment_bytes_locked(*late);
+  total_bytes_ += late->bytes;
+  records_pending_ += 1;
+  c_.late->increment();
+  enforce_bytes_locked();
+}
+
+void SketchHistoryStore::ingest_views(const std::vector<RecordView>& batch) {
+  for (const auto& record : batch) {
+    if (record.sketch.relative_accuracy != config_.sketch.relative_accuracy) {
+      throw std::invalid_argument(
+          "SketchHistoryStore::ingest: record sketch accuracy differs from history config");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& record : batch) ingest_view_locked(record);
+  flush_cells_locked();
+}
+
+void SketchHistoryStore::note_epoch(std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)admit_epoch_locked(epoch);  // an implausible jump is simply ignored
+  flush_cells_locked();
+}
+
+// --- Window queries --------------------------------------------------------
+
+template <typename Fn>
+WindowCoverage SketchHistoryStore::for_each_covering_locked(std::uint32_t first,
+                                                            std::uint32_t last,
+                                                            Fn&& fn) const {
+  WindowCoverage cov;
+  cov.requested_first = first;
+  cov.requested_last = last;
+  if (!any_) return cov;
+
+  const auto visit = [&](const Segment& seg, bool raw_tier) {
+    if (seg.last < first || seg.first > last) return;
+    if (!cov.covered) {
+      cov.covered = true;
+      cov.covered_first = seg.first;
+      cov.covered_last = seg.last;
+    } else {
+      cov.covered_first = std::min(cov.covered_first, seg.first);
+      cov.covered_last = std::max(cov.covered_last, seg.last);
+    }
+    cov.records += seg.records;
+    fn(seg, raw_tier);
+  };
+
+  for (const auto* tier : {&coarse_, &mid_}) {
+    // O(log segments) to find the first candidate; visiting is linear in the
+    // segments actually covered.
+    auto it = std::lower_bound(tier->begin(), tier->end(), first,
+                               [](const Segment& s, std::uint32_t e) { return s.last < e; });
+    for (; it != tier->end() && it->first <= last; ++it) visit(*it, false);
+  }
+  if (!raw_.empty() && last >= raw_first_) {
+    const std::uint32_t lo = std::max(first, raw_first_);
+    const std::uint32_t hi =
+        std::min<std::uint64_t>(last, raw_first_ + (raw_.size() - 1));
+    for (std::uint32_t e = lo; e <= hi; ++e) visit(raw_[e - raw_first_], true);
+  }
+
+  cov.complete = cov.covered && first >= oldest_retained_locked() && last <= last_seen_;
+  return cov;
+}
+
+std::optional<common::LatencySketch> SketchHistoryStore::window_flow(
+    std::uint32_t epoch_first, std::uint32_t epoch_last, const net::FiveTuple& key,
+    WindowCoverage* coverage) const {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  std::lock_guard<std::mutex> lock(mu_);
+  common::LatencySketch out(config_.sketch);
+  bool found = false;
+  std::vector<RecordView> scratch;
+  const auto cov = for_each_covering_locked(
+      epoch_first, epoch_last, [&](const Segment& seg, bool raw_tier) {
+        if (raw_tier) {
+          if (seg.log.empty()) return;
+          scratch.clear();
+          for (const auto& chunk : seg.log.chunks()) {
+            decode_record_body_views(chunk.data.get(), chunk.used, scratch);
+          }
+          for (const auto& v : scratch) {
+            if (!(v.key == key)) continue;
+            merge_sketch_view(out, v.sketch);
+            found = true;
+          }
+        } else {
+          const auto it = seg.flows.find(key);
+          if (it == seg.flows.end()) return;
+          out.merge(it->second);
+          found = true;
+        }
+      });
+  if (coverage != nullptr) *coverage = cov;
+  if (!found) return std::nullopt;
+  return out;
+}
+
+std::optional<double> SketchHistoryStore::window_flow_quantile(
+    std::uint32_t epoch_first, std::uint32_t epoch_last, const net::FiveTuple& key, double q,
+    WindowCoverage* coverage) const {
+  const auto sketch = window_flow(epoch_first, epoch_last, key, coverage);
+  if (!sketch.has_value()) return std::nullopt;
+  return sketch->quantile(q);
+}
+
+std::optional<common::LatencySketch> SketchHistoryStore::window_link(
+    std::uint32_t epoch_first, std::uint32_t epoch_last, LinkId link,
+    WindowCoverage* coverage) const {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  std::lock_guard<std::mutex> lock(mu_);
+  common::LatencySketch out(config_.sketch);
+  bool found = false;
+  std::vector<RecordView> scratch;
+  const auto cov = for_each_covering_locked(
+      epoch_first, epoch_last, [&](const Segment& seg, bool raw_tier) {
+        if (raw_tier) {
+          if (seg.log.empty()) return;
+          scratch.clear();
+          for (const auto& chunk : seg.log.chunks()) {
+            decode_record_body_views(chunk.data.get(), chunk.used, scratch);
+          }
+          for (const auto& v : scratch) {
+            if (v.link != link) continue;
+            merge_sketch_view(out, v.sketch);
+            found = true;
+          }
+        } else {
+          const auto it = seg.links.find(link);
+          if (it == seg.links.end()) return;
+          out.merge(it->second);
+          found = true;
+        }
+      });
+  if (coverage != nullptr) *coverage = cov;
+  if (!found) return std::nullopt;
+  return out;
+}
+
+common::LatencySketch SketchHistoryStore::window_fleet(std::uint32_t epoch_first,
+                                                       std::uint32_t epoch_last,
+                                                       WindowCoverage* coverage) const {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  std::lock_guard<std::mutex> lock(mu_);
+  common::LatencySketch out(config_.sketch);
+  std::vector<RecordView> scratch;
+  const auto cov = for_each_covering_locked(
+      epoch_first, epoch_last, [&](const Segment& seg, bool raw_tier) {
+        if (raw_tier) {
+          if (seg.log.empty()) return;
+          scratch.clear();
+          for (const auto& chunk : seg.log.chunks()) {
+            decode_record_body_views(chunk.data.get(), chunk.used, scratch);
+          }
+          for (const auto& v : scratch) merge_sketch_view(out, v.sketch);
+        } else {
+          // Every record lands in exactly one link aggregate, so the union
+          // over links equals the union over records (the collector's
+          // fleet() uses the same identity).
+          for (const auto& [link, sketch] : seg.links) {
+            (void)link;
+            out.merge(sketch);
+          }
+        }
+      });
+  if (coverage != nullptr) *coverage = cov;
+  return out;
+}
+
+std::vector<net::FiveTuple> SketchHistoryStore::window_flows(std::uint32_t epoch_first,
+                                                             std::uint32_t epoch_last) const {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<net::FiveTuple> keys;
+  std::vector<RecordView> scratch;
+  for_each_covering_locked(epoch_first, epoch_last, [&](const Segment& seg, bool raw_tier) {
+    if (raw_tier) {
+      if (seg.log.empty()) return;
+      scratch.clear();
+      for (const auto& chunk : seg.log.chunks()) {
+        decode_record_body_views(chunk.data.get(), chunk.used, scratch);
+      }
+      for (const auto& v : scratch) keys.push_back(v.key);
+    } else {
+      for (const auto& [key, sketch] : seg.flows) {
+        (void)sketch;
+        keys.push_back(key);
+      }
+    }
+  });
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<std::pair<LinkId, common::LatencySketch>> SketchHistoryStore::window_links(
+    std::uint32_t epoch_first, std::uint32_t epoch_last) const {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<LinkId, common::LatencySketch> merged;
+  std::vector<RecordView> scratch;
+  for_each_covering_locked(epoch_first, epoch_last, [&](const Segment& seg, bool raw_tier) {
+    if (raw_tier) {
+      if (seg.log.empty()) return;
+      scratch.clear();
+      for (const auto& chunk : seg.log.chunks()) {
+        decode_record_body_views(chunk.data.get(), chunk.used, scratch);
+      }
+      for (const auto& v : scratch) {
+        auto [it, added] = merged.try_emplace(v.link, config_.sketch);
+        (void)added;
+        merge_sketch_view(it->second, v.sketch);
+      }
+    } else {
+      for (const auto& [link, sketch] : seg.links) {
+        auto [it, added] = merged.try_emplace(link, config_.sketch);
+        (void)added;
+        it->second.merge(sketch);
+      }
+    }
+  });
+  return {merged.begin(), merged.end()};
+}
+
+// --- Accounting ------------------------------------------------------------
+
+std::size_t SketchHistoryStore::approx_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_cells_locked();
+  return total_bytes_;
+}
+
+std::size_t SketchHistoryStore::epochs_retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_cells_locked();
+  if (!any_) return 0;
+  return static_cast<std::size_t>(last_seen_ - oldest_retained_locked()) + 1;
+}
+
+std::optional<std::uint32_t> SketchHistoryStore::first_retained_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!any_) return std::nullopt;
+  return oldest_retained_locked();
+}
+
+std::optional<std::uint32_t> SketchHistoryStore::last_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!any_) return std::nullopt;
+  return last_seen_;
+}
+
+void SketchHistoryStore::refresh_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_cells_locked();
+}
+
+std::uint64_t SketchHistoryStore::records_ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_cells_locked();
+  return c_.records->value();
+}
+std::uint64_t SketchHistoryStore::compactions() const { return c_.compactions->value(); }
+std::uint64_t SketchHistoryStore::evictions() const { return c_.evictions->value(); }
+std::uint64_t SketchHistoryStore::late_records() const { return c_.late->value(); }
+std::uint64_t SketchHistoryStore::dropped_records() const { return c_.dropped->value(); }
+
+}  // namespace rlir::collect

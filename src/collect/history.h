@@ -1,0 +1,318 @@
+// Epoch-indexed sketch history: the time-travel store behind the collector.
+//
+// The live collector answers "what is flow X's latency NOW"; operators ask
+// "what was p99 over the last 5 minutes" and "which link's distribution
+// shifted at 14:02". This store keeps per-epoch DELTAS — the records each
+// epoch contributed, not cumulative state — so any window [e1, e2] can be
+// answered by merging exactly the epochs it covers (sketch merge is exact,
+// associative, and commutative; see common/latency_sketch.h).
+//
+// Memory is bounded by two mechanisms working together:
+//
+//   * tiered epoch compaction: the newest `raw_epochs` epochs are kept as
+//     raw record logs (append-only byte vectors of self-delimiting record
+//     bodies — the cheapest possible ingest tee); older epochs fold into
+//     mid-tier segments of `mid_window` epochs (per-flow/per-link merged
+//     sketch maps), which in turn fold into coarse segments of
+//     `coarse_window` epochs; the oldest coarse segments evict. Retained
+//     coverage is always one contiguous range [oldest, newest].
+//   * sketch bin-collapsing: compacted-tier sketches are created with
+//     `retained_max_bins` as their bin budget, so folding an epoch into a
+//     segment collapses its lowest bins once the budget overflows —
+//     degrading only low quantiles, exactly like the live sketches do.
+//
+// On top of the tiers sits a hard byte bound (`max_bytes`): whenever the
+// accounted footprint exceeds it, the oldest segments evict (coarse first,
+// then mid, then raw — never the newest raw epoch, which is still filling).
+//
+// Query semantics: a window query visits every retained segment that
+// intersects [e1, e2] — O(log E) to locate the first (binary search over
+// the sorted segment deques; raw epochs index arithmetically) — and merges
+// their deltas bin-for-bin. Compacted segments snap coverage OUTWARD: a
+// window edge falling inside an 8-epoch segment includes the whole segment
+// (the per-epoch split no longer exists). The WindowCoverage out-param
+// reports what was actually merged, so `query(window) == merge of the
+// covered epochs' deltas, bin for bin` — the exactness contract the
+// property tests assert.
+//
+// Thread-safety: all methods are safe to call concurrently (one internal
+// mutex). Ingest is designed as a tee riding the collector hot path: one
+// lock, one body append (~bytes memcpy), no sketch merge.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "collect/estimate_record.h"
+#include "common/flat_hash_map.h"
+#include "common/latency_sketch.h"
+#include "net/flow_key.h"
+#include "obs/instrument.h"
+
+namespace rlir::collect {
+
+struct HistoryConfig {
+  /// Newest epochs kept as raw per-epoch record logs (full per-epoch
+  /// resolution). Must be >= 1.
+  std::size_t raw_epochs = 64;
+  /// Epochs per mid-tier segment (raw epochs fold into these). Must be >= 1.
+  std::size_t mid_window = 8;
+  /// Mid-tier segments retained before the oldest folds to coarse. >= 1.
+  std::size_t mid_segments = 16;
+  /// Epochs per coarse-tier segment; must be a positive multiple of
+  /// mid_window (mid segments nest into coarse windows cleanly).
+  std::size_t coarse_window = 64;
+  /// Coarse segments retained before the oldest evicts. Must be >= 1.
+  std::size_t coarse_segments = 16;
+  /// Bin budget of compacted-tier sketches (the bin-collapsing bound).
+  /// 0 = inherit the producer budget (`sketch.max_bins`) — compaction then
+  /// stays bin-for-bin exact and only the tiering bounds memory.
+  std::size_t retained_max_bins = 0;
+  /// Hard footprint bound; exceeding it evicts oldest segments. 0 = none.
+  std::size_t max_bytes = 64u << 20;
+  /// Forward epoch jumps larger than this are rejected as corrupt (one bad
+  /// wire epoch must not fast-forward away the whole history). Must be >= 1.
+  std::uint32_t max_epoch_jump = 1u << 16;
+  /// Accuracy contract: ingest rejects records whose relative accuracy
+  /// differs (same rule as the collectors'). max_bins is the producer/query
+  /// budget.
+  common::LatencySketchConfig sketch;
+  /// Observability attachment (see obs/instrument.h): rlir_history_* gauges
+  /// and counters — the store's memory watchdog.
+  obs::Instruments instruments;
+};
+
+/// What a window query actually answered: the retained segments intersecting
+/// the request, snapped outward to compacted-segment boundaries.
+struct WindowCoverage {
+  std::uint32_t requested_first = 0;
+  std::uint32_t requested_last = 0;
+  /// Bounds of the segments merged (only meaningful when `covered`). May
+  /// extend beyond the request when a window edge fell inside a compacted
+  /// segment, and may fall short when epochs were evicted or never seen.
+  std::uint32_t covered_first = 0;
+  std::uint32_t covered_last = 0;
+  /// At least one retained segment intersected the request.
+  bool covered = false;
+  /// Every requested epoch is retained (nothing evicted, nothing in the
+  /// future): covered && oldest_retained <= requested_first &&
+  /// requested_last <= newest_seen.
+  bool complete = false;
+  /// Records contributing to the covered segments.
+  std::uint64_t records = 0;
+};
+
+class SketchHistoryStore {
+ public:
+  /// Throws std::invalid_argument on an invalid config (see field rules).
+  explicit SketchHistoryStore(HistoryConfig config = {});
+
+  SketchHistoryStore(const SketchHistoryStore&) = delete;
+  SketchHistoryStore& operator=(const SketchHistoryStore&) = delete;
+
+  // --- Ingest (the collector tee) -----------------------------------------
+
+  /// Appends one record to its epoch's raw log. While nothing has ever been
+  /// folded or evicted, the raw window also grows BACKWARDS to admit epochs
+  /// below the first-seen one (flow-hash spray delivers each agent a
+  /// different first record) — so partitioned stores converge on the same
+  /// retained range. Records older than the retained range are dropped
+  /// (counted); records landing in an already compacted segment merge into
+  /// its maps (counted as late). Throws std::invalid_argument on a
+  /// relative-accuracy mismatch.
+  void ingest(const EstimateRecord& record);
+  void ingest(const RecordView& record);
+  /// Batch tee: one lock for the whole batch.
+  void ingest_views(const std::vector<RecordView>& batch);
+
+  /// Seals time forward to `epoch` without a record — how the epoch
+  /// scheduler keeps compaction advancing through idle epochs. Epochs only
+  /// move forward; a stale or absurdly-far epoch is ignored.
+  void note_epoch(std::uint32_t epoch);
+
+  // --- Window queries ------------------------------------------------------
+  // All take an inclusive epoch range (swapped if reversed) and optionally
+  // report coverage. Result sketches use the producer config, so they merge
+  // exactly with live collector sketches.
+
+  /// One flow's merged delta over the window; nullopt if the flow appears in
+  /// no covered segment.
+  [[nodiscard]] std::optional<common::LatencySketch> window_flow(
+      std::uint32_t epoch_first, std::uint32_t epoch_last, const net::FiveTuple& key,
+      WindowCoverage* coverage = nullptr) const;
+  /// Quantile of the window's merged flow sketch; nullopt if unseen.
+  [[nodiscard]] std::optional<double> window_flow_quantile(
+      std::uint32_t epoch_first, std::uint32_t epoch_last, const net::FiveTuple& key,
+      double q, WindowCoverage* coverage = nullptr) const;
+  /// One vantage's merged delta over the window; nullopt if unseen.
+  [[nodiscard]] std::optional<common::LatencySketch> window_link(
+      std::uint32_t epoch_first, std::uint32_t epoch_last, LinkId link,
+      WindowCoverage* coverage = nullptr) const;
+  /// Union of every record in the window (empty sketch when none).
+  [[nodiscard]] common::LatencySketch window_fleet(std::uint32_t epoch_first,
+                                                   std::uint32_t epoch_last,
+                                                   WindowCoverage* coverage = nullptr) const;
+  /// Every flow appearing in the window's covered segments, sorted.
+  [[nodiscard]] std::vector<net::FiveTuple> window_flows(std::uint32_t epoch_first,
+                                                         std::uint32_t epoch_last) const;
+  /// Every link appearing in the window with its merged delta, ascending.
+  [[nodiscard]] std::vector<std::pair<LinkId, common::LatencySketch>> window_links(
+      std::uint32_t epoch_first, std::uint32_t epoch_last) const;
+
+  // --- Accounting ----------------------------------------------------------
+
+  /// Accounted footprint (raw log bytes + compacted sketch bytes + fixed
+  /// per-segment overhead) — the quantity max_bytes bounds, also exported
+  /// as the rlir_history_bytes gauge.
+  [[nodiscard]] std::size_t approx_bytes() const;
+  /// Retained epoch span (contiguous); 0 before the first epoch.
+  [[nodiscard]] std::size_t epochs_retained() const;
+  [[nodiscard]] std::optional<std::uint32_t> first_retained_epoch() const;
+  [[nodiscard]] std::optional<std::uint32_t> last_epoch() const;
+  [[nodiscard]] std::uint64_t records_ingested() const;
+  /// Segment folds (raw->mid and mid->coarse).
+  [[nodiscard]] std::uint64_t compactions() const;
+  /// Segments dropped (tier overflow or byte bound).
+  [[nodiscard]] std::uint64_t evictions() const;
+  /// Records merged into an already-compacted segment.
+  [[nodiscard]] std::uint64_t late_records() const;
+  /// Records rejected: older than everything retained, or an implausible
+  /// forward epoch jump.
+  [[nodiscard]] std::uint64_t dropped_records() const;
+
+  [[nodiscard]] const HistoryConfig& config() const { return config_; }
+
+  /// Publishes the deferred hot-path counters into the registry cells.
+  /// Ingest defers cell updates to epoch seals (see flush_cells_locked), so
+  /// a scrape taken mid-epoch lags by the unsealed tail — call this first
+  /// when rendering a snapshot that must reflect every ingested record.
+  void refresh_cells() const;
+
+ private:
+  /// Append-only record-body log in fixed chunks. A flat byte vector would
+  /// double-and-memcpy megabytes per busy epoch and touch ~2x the pages the
+  /// data needs — measurable on the collector tee, which rides the ingest
+  /// hot path. Chunks never relocate once written; records never straddle
+  /// chunks (each body is appended whole into the current chunk).
+  class RecordLog {
+   public:
+    // Below glibc's 128 KiB mmap threshold so chunk churn recycles through
+    // the malloc free lists instead of mmap/munmap syscalls.
+    static constexpr std::size_t kChunkBytes = 64u << 10;
+
+    /// One fixed-capacity slab of appended record bodies. Raw buffers
+    /// (default-initialized, not vectors) so appends never pay a zero-fill
+    /// and chunk growth never copies old bodies.
+    struct Chunk {
+      std::unique_ptr<std::uint8_t[]> data;
+      std::size_t used = 0;
+      std::size_t cap = 0;
+    };
+
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
+    /// Reserves `n` contiguous bytes (opening a fresh chunk when the current
+    /// one would overflow) and returns where to write them.
+    [[nodiscard]] std::uint8_t* append_raw(std::size_t n) {
+      if (chunks_.empty() || chunks_.back().used + n > chunks_.back().cap) {
+        Chunk chunk;
+        chunk.cap = std::max(kChunkBytes, n);
+        chunk.data.reset(new std::uint8_t[chunk.cap]);
+        chunks_.push_back(std::move(chunk));
+      }
+      Chunk& tail = chunks_.back();
+      std::uint8_t* at = tail.data.get() + tail.used;
+      tail.used += n;
+      size_ += n;
+      return at;
+    }
+
+   private:
+    std::vector<Chunk> chunks_;
+    std::size_t size_ = 0;
+  };
+
+  /// One retained slice of history. Raw tier: first == last and the records
+  /// live in `log` (appended bodies). Compacted tiers: [first, last] spans
+  /// a window and the records live pre-merged in the flow/link maps.
+  struct Segment {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    std::uint64_t records = 0;
+    RecordLog log;
+    common::FlatHashMap<net::FiveTuple, common::LatencySketch> flows;
+    common::FlatHashMap<LinkId, common::LatencySketch> links;
+    /// Accounted footprint contribution (kept in sync with total_bytes_).
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] common::LatencySketchConfig compact_config() const;
+  /// True if the record's epoch was admitted (time advanced as needed);
+  /// false = rejected jump (counted by the caller).
+  bool admit_epoch_locked(std::uint32_t epoch);
+  /// The per-record ingest body shared by the scalar and batch view paths
+  /// (the scalar one is the collector tee's hot path — no allocations).
+  void ingest_view_locked(const RecordView& record);
+  void fold_oldest_raw_locked();
+  void fold_oldest_mid_locked();
+  void merge_maps_into_locked(Segment& dst, const Segment& src) const;
+  void evict_front_locked(std::deque<Segment>& tier);
+  void enforce_bytes_locked();
+  /// Publishes the locked state into the registry cells (gauges + the
+  /// deferred record count). Runs at epoch boundaries, queries, and
+  /// accessors — NOT per record: the tee rides the collector's hot path,
+  /// and three extra atomic cache lines per record are measurable.
+  void flush_cells_locked() const;
+  [[nodiscard]] std::size_t map_segment_bytes_locked(const Segment& seg) const;
+  [[nodiscard]] std::uint32_t oldest_retained_locked() const;
+  /// Visits every retained segment intersecting [first, last], oldest tier
+  /// first, accumulating coverage. `fn(segment, is_raw)`.
+  template <typename Fn>
+  WindowCoverage for_each_covering_locked(std::uint32_t first, std::uint32_t last,
+                                          Fn&& fn) const;
+
+  HistoryConfig config_;
+  obs::Instrumented obs_;
+
+  mutable std::mutex mu_;
+  /// Raw tier: contiguous epochs [raw_first_, raw_first_ + raw_.size()).
+  std::deque<Segment> raw_;
+  std::uint32_t raw_first_ = 0;
+  /// Compacted tiers, ascending and disjoint; coarse_ covers the oldest
+  /// epochs, mid_ the range between coarse_ and raw_.
+  std::deque<Segment> mid_;
+  std::deque<Segment> coarse_;
+  bool any_ = false;
+  std::uint32_t last_seen_ = 0;
+  /// True once any epoch has been folded or evicted; gates backward raw
+  /// growth (the pre-raw_first_ range is only re-admittable while nothing
+  /// that ever covered it has been discarded).
+  bool discarded_ = false;
+  std::size_t total_bytes_ = 0;
+  /// Records ingested since the last flush_cells_locked() (hot-path counter
+  /// kept off the shared registry cache lines; mutable so const accessors
+  /// can publish before reading the cell).
+  mutable std::uint64_t records_pending_ = 0;
+
+  /// Counter cells are the storage (accessors read them); gauges track the
+  /// bounded quantities — the memory watchdog surface.
+  struct Cells {
+    obs::Gauge* bytes = nullptr;
+    obs::Gauge* epochs = nullptr;
+    obs::Counter* records = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* late = nullptr;
+    obs::Counter* dropped = nullptr;
+  };
+  Cells c_{};
+};
+
+}  // namespace rlir::collect

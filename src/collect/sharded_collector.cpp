@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "collect/history.h"
+
 namespace rlir::collect {
 
 ShardedCollector::ShardedCollector(CollectorConfig config) : config_(config) {
@@ -43,6 +45,8 @@ void ShardedCollector::ingest(const EstimateRecord& record) {
   epochs_.insert(record.epoch);
   ++records_;
   estimates_ += record.sketch.count();
+
+  if (history_ != nullptr) history_->ingest(record);
 }
 
 void ShardedCollector::ingest(const std::vector<EstimateRecord>& batch) {
@@ -83,6 +87,8 @@ void ShardedCollector::ingest(const RecordView& record) {
   epochs_.insert(record.epoch);
   ++records_;
   estimates_ += record.sketch.count();
+
+  if (history_ != nullptr) history_->ingest(record);
 }
 
 void ShardedCollector::merge(const ShardedCollector& other) {

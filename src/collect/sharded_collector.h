@@ -37,6 +37,8 @@
 
 namespace rlir::collect {
 
+class SketchHistoryStore;
+
 struct CollectorConfig {
   /// Shard fan-out. More shards = smaller per-shard flow tables (and, in a
   /// distributed deployment, more machines). Must be >= 1.
@@ -97,6 +99,14 @@ class ShardedCollector {
   /// Merges another collector's entire state (replica/epoch union). Shard
   /// counts need not match; flows are re-routed by this collector's hash.
   void merge(const ShardedCollector& other);
+
+  /// Attaches a history store tee (see collect/history.h): every record
+  /// ingested after this call is also appended to `history`'s epoch log.
+  /// Borrowed — the store must outlive the last ingest; null detaches.
+  /// merge() does NOT tee: a replica union re-plays records some collector
+  /// already ingested (and teed), not new ones.
+  void set_history(SketchHistoryStore* history) { history_ = history; }
+  [[nodiscard]] SketchHistoryStore* history() const { return history_; }
 
   // --- Queries -------------------------------------------------------------
 
@@ -195,6 +205,7 @@ class ShardedCollector {
   std::unordered_set<std::uint32_t> epochs_;
   std::uint64_t records_ = 0;
   std::uint64_t estimates_ = 0;
+  SketchHistoryStore* history_ = nullptr;
 };
 
 }  // namespace rlir::collect

@@ -15,6 +15,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kFailBack: return "fail_back";
     case EventKind::kEpochFlush: return "epoch_flush";
     case EventKind::kLog: return "log";
+    case EventKind::kSloViolation: return "slo_violation";
   }
   return "?";
 }

@@ -27,8 +27,9 @@ enum class EventKind : std::uint8_t {
   kFailBack = 7,
   kEpochFlush = 8,
   kLog = 9,  ///< WARN+ log line bridged in via obs::LogBridge.
+  kSloViolation = 10,  ///< Windowed SLO breach detected by collect::SloWatcher.
 };
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 10;
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
 

@@ -40,6 +40,17 @@ CollectorAgent::CollectorAgent(CollectorAgentConfig config)
   c_.connections_accepted = r.counter("rlir_agent_connections_accepted_total", base);
   c_.connections_closed = r.counter("rlir_agent_connections_closed_total", base);
   c_.batch_records = r.histogram("rlir_agent_batch_records", base);
+
+  if (config_.enable_history) {
+    collect::HistoryConfig hc = config_.history;
+    // The accuracy contract: the store must accept exactly the records the
+    // collector accepts. And its gauges/counters belong in this agent's
+    // scrape, not a private registry nobody reads.
+    hc.sketch = config_.collector.sketch;
+    hc.instruments = obs_.child(obs_.id());
+    history_ = std::make_unique<collect::SketchHistoryStore>(hc);
+    collector_.set_history(history_.get());
+  }
 }
 
 void CollectorAgent::set_listener(std::unique_ptr<Listener> listener) {
@@ -172,6 +183,37 @@ void CollectorAgent::handle_frame(Connection& conn, const FrameView& frame) {
         case QueryKind::kMetrics:
           reply.scrape = scrape();
           break;
+        case QueryKind::kWindowFleet:
+        case QueryKind::kWindowLink:
+        case QueryKind::kWindowFlowQuantile: {
+          // No store attached -> covered=false, absent: a fleet can mix
+          // history-enabled and plain agents and the coordinator's coverage
+          // merge reports the truth.
+          if (history_ == nullptr) break;
+          // The tee rides ingest, so the quiesce barrier means every record
+          // submitted before this query is in the store.
+          collector_.quiesce();
+          collect::WindowCoverage cov;
+          if (query.kind == QueryKind::kWindowFleet) {
+            auto sketch = history_->window_fleet(query.epoch_first, query.epoch_last, &cov);
+            if (cov.covered) reply.window_sketch = std::move(sketch);
+          } else if (query.kind == QueryKind::kWindowLink) {
+            reply.window_sketch =
+                history_->window_link(query.epoch_first, query.epoch_last, query.k, &cov);
+          } else {
+            reply.window_sketch =
+                history_->window_flow(query.epoch_first, query.epoch_last, query.key, &cov);
+            if (reply.window_sketch.has_value()) {
+              reply.quantile = reply.window_sketch->quantile(query.q);
+            }
+          }
+          reply.window.covered = cov.covered;
+          reply.window.complete = cov.complete;
+          reply.window.first = cov.covered_first;
+          reply.window.last = cov.covered_last;
+          reply.window.records = cov.records;
+          break;
+        }
       }
       const auto bytes = encode_frame(FrameType::kQueryReply, encode_reply(reply));
       if (conn.outbox.size() - conn.outbox_offset + bytes.size() > config_.max_outbox_bytes) {
@@ -211,6 +253,9 @@ void CollectorAgent::flush_outbox(Connection& conn) {
 
 obs::Scrape CollectorAgent::scrape() {
   obs::Scrape s;
+  // The history store defers its cell updates to epoch seals; publish the
+  // unsealed tail so the scrape's record counter matches the collector's.
+  if (history_ != nullptr) history_->refresh_cells();
   s.metrics = obs_.registry().snapshot();
   // The AgentStats counters ride along as synthetic samples (field table):
   // they live outside the registry, so this is their only identity — a

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "collect/concurrent_collector.h"
+#include "collect/history.h"
 #include "obs/instrument.h"
 #include "obs/wire.h"
 #include "timebase/time.h"
@@ -55,6 +56,14 @@ struct CollectorAgentConfig {
   /// Observability attachment; shared with the owned collector. Null
   /// members = the agent owns a private registry/trace.
   obs::Instruments instruments;
+  /// Attach a history store and serve the kWindow* time-travel queries.
+  /// Off by default: the store is a per-record ingest tee plus resident
+  /// memory, which a pure live-query deployment should not pay for.
+  bool enable_history = false;
+  /// Store shape when enabled. sketch and instruments are overwritten with
+  /// the collector's sketch config and the agent's shared registry (the
+  /// accuracy contract and the single-scrape story both demand it).
+  collect::HistoryConfig history;
 };
 
 class CollectorAgent {
@@ -82,6 +91,10 @@ class CollectorAgent {
 
   /// The shard-group state (thread-safe; queries quiesce ingest).
   [[nodiscard]] collect::ConcurrentShardedCollector& collector() { return collector_; }
+
+  /// The attached history store; nullptr unless config.enable_history.
+  /// Thread-safe like the collector (internally locked).
+  [[nodiscard]] collect::SketchHistoryStore* history() { return history_.get(); }
 
   /// Counters served to kStats queries (collector totals + agent protocol
   /// accounting).
@@ -121,6 +134,11 @@ class CollectorAgent {
   /// Declared before collector_ so the agent's registry/trace exist when
   /// the collector config is patched to share them.
   obs::Instrumented obs_;
+  /// Owned history store (enable_history). Declared before collector_: the
+  /// collector tees into it from worker threads, so it must be constructed
+  /// before ingest can start and destroyed only after ~collector_ has
+  /// drained and joined the workers.
+  std::unique_ptr<collect::SketchHistoryStore> history_;
   collect::ConcurrentShardedCollector collector_;
   std::unique_ptr<Listener> listener_;
   std::vector<std::unique_ptr<Connection>> connections_;

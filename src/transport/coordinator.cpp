@@ -84,6 +84,31 @@ obs::Scrape merge_scrapes(const std::vector<obs::Scrape>& parts) {
   return merged;
 }
 
+WindowInfo merge_window_info(const std::vector<std::optional<QueryReply>>& parts) {
+  WindowInfo merged;
+  bool all_complete = !parts.empty();
+  for (const auto& part : parts) {
+    if (!part.has_value()) {
+      all_complete = false;  // a missed agent is unknown coverage: incomplete
+      continue;
+    }
+    const WindowInfo& w = part->window;
+    if (!w.complete) all_complete = false;
+    if (!w.covered) continue;
+    if (!merged.covered) {
+      merged.covered = true;
+      merged.first = w.first;
+      merged.last = w.last;
+    } else {
+      merged.first = std::min(merged.first, w.first);
+      merged.last = std::max(merged.last, w.last);
+    }
+    merged.records = saturating_add(merged.records, w.records);
+  }
+  merged.complete = merged.covered && all_complete;
+  return merged;
+}
+
 // --- The coordinator -------------------------------------------------------
 
 QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config)
@@ -233,6 +258,71 @@ QueryCoordinator::link_distributions() {
     }
   }
   return {merged.begin(), merged.end()};
+}
+
+namespace {
+
+/// Shared tail of every window fan-out: coverage union + exact sketch merge
+/// (empty sketches skipped — they carry no bins and merging one whose
+/// accuracy differs would throw where ignoring it is exact).
+[[nodiscard]] WindowResult merge_window_replies(
+    const std::vector<std::optional<QueryReply>>& replies) {
+  WindowResult out;
+  out.window = merge_window_info(replies);
+  std::vector<common::LatencySketch> parts;
+  for (const auto& reply : replies) {
+    if (!reply.has_value() || !reply->window_sketch.has_value()) continue;
+    if (reply->window_sketch->empty()) continue;
+    parts.push_back(*reply->window_sketch);
+  }
+  if (!parts.empty()) out.sketch = merge_fleet_sketches(parts);
+  return out;
+}
+
+}  // namespace
+
+WindowResult QueryCoordinator::window_fleet(std::uint32_t epoch_first,
+                                            std::uint32_t epoch_last) {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  Query q;
+  q.kind = QueryKind::kWindowFleet;
+  q.epoch_first = epoch_first;
+  q.epoch_last = epoch_last;
+  return merge_window_replies(fan_out(q));
+}
+
+WindowResult QueryCoordinator::window_link(collect::LinkId link, std::uint32_t epoch_first,
+                                           std::uint32_t epoch_last) {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  Query q;
+  q.kind = QueryKind::kWindowLink;
+  q.k = link;
+  q.epoch_first = epoch_first;
+  q.epoch_last = epoch_last;
+  return merge_window_replies(fan_out(q));
+}
+
+WindowResult QueryCoordinator::window_flow_sketch(const net::FiveTuple& key,
+                                                  std::uint32_t epoch_first,
+                                                  std::uint32_t epoch_last) {
+  if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  Query q;
+  q.kind = QueryKind::kWindowFlowQuantile;
+  q.key = key;
+  q.epoch_first = epoch_first;
+  q.epoch_last = epoch_last;
+  return merge_window_replies(fan_out(q));
+}
+
+std::optional<double> QueryCoordinator::window_flow_quantile(const net::FiveTuple& key,
+                                                             double q,
+                                                             std::uint32_t epoch_first,
+                                                             std::uint32_t epoch_last,
+                                                             WindowInfo* window) {
+  const auto result = window_flow_sketch(key, epoch_first, epoch_last);
+  if (window != nullptr) *window = result.window;
+  if (!result.sketch.has_value()) return std::nullopt;
+  return result.sketch->quantile(q);
 }
 
 std::vector<std::optional<AgentStats>> QueryCoordinator::per_agent_stats() {

@@ -92,6 +92,23 @@ using FlowResolver =
 /// roll-up.
 [[nodiscard]] obs::Scrape merge_scrapes(const std::vector<obs::Scrape>& parts);
 
+/// Coverage union over one window fan-out: covered = any agent covered,
+/// bounds = union of covered bounds, records = saturating sum, and
+/// complete = EVERY agent answered AND answered complete — a missed agent
+/// or an evicted epoch anywhere makes the fleet answer incomplete, which
+/// is the honest signal (partial truth, clearly labeled). Empty input is
+/// uncovered and incomplete.
+[[nodiscard]] WindowInfo merge_window_info(const std::vector<std::optional<QueryReply>>& parts);
+
+/// A window query's merged fleet answer: the exact bin-for-bin union of
+/// the agents' window sketches plus what that union actually covered.
+struct WindowResult {
+  /// Absent when no reachable agent had covered data (or the flow/link
+  /// never appeared in the window).
+  std::optional<common::LatencySketch> sketch;
+  WindowInfo window;
+};
+
 // --- The coordinator -------------------------------------------------------
 
 struct QueryCoordinatorConfig {
@@ -146,6 +163,27 @@ class QueryCoordinator {
   /// merged across agents (a vantage's records spread over all of them).
   [[nodiscard]] std::vector<std::pair<collect::LinkId, common::LatencySketch>>
   link_distributions();
+
+  // --- Time-travel window queries (kWindow* fan-out over agent history) ---
+  // Inclusive epoch ranges, swapped if reversed. Exactness contract as
+  // above: the merged sketch is bin-for-bin what a single history store
+  // holding every agent's records would answer over the union coverage.
+
+  /// Fleet-wide distribution over [epoch_first, epoch_last].
+  [[nodiscard]] WindowResult window_fleet(std::uint32_t epoch_first, std::uint32_t epoch_last);
+  /// One vantage's distribution over the window, merged across agents.
+  [[nodiscard]] WindowResult window_link(collect::LinkId link, std::uint32_t epoch_first,
+                                         std::uint32_t epoch_last);
+  /// One flow's merged window sketch across the fleet.
+  [[nodiscard]] WindowResult window_flow_sketch(const net::FiveTuple& key,
+                                                std::uint32_t epoch_first,
+                                                std::uint32_t epoch_last);
+  /// Quantile of the merged window sketch (exact even for a flow split
+  /// across agents); nullopt if unseen. Coverage via the out-param.
+  [[nodiscard]] std::optional<double> window_flow_quantile(const net::FiveTuple& key, double q,
+                                                           std::uint32_t epoch_first,
+                                                           std::uint32_t epoch_last,
+                                                           WindowInfo* window = nullptr);
 
   /// Per-agent counters; nullopt for agents that didn't answer.
   [[nodiscard]] std::vector<std::optional<AgentStats>> per_agent_stats();

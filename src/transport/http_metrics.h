@@ -1,0 +1,91 @@
+// Minimal HTTP/1.x GET responder for Prometheus-style scrapes.
+//
+// PR 7's exposition built the text format (obs/exposition.h); until now it
+// left the daemons only two ways to serve it — an RLTF kMetrics query or a
+// stderr dump. Real scrapers speak HTTP, so this is the missing last inch: a
+// GET-only responder over the existing Listener/ByteStream layer (socket or
+// loopback — tests drive it deterministically through an in-memory pipe).
+//
+// Deliberately NOT a web server: one endpoint (`/metrics`, query strings
+// ignored), GET only, no keep-alive (every response carries
+// `Connection: close` and the stream closes after the flush), requests
+// capped at 8 KiB. Anything else gets the matching error status: 405 for
+// other methods, 404 for other targets, 400 for a malformed request line,
+// 431 when the cap trips. The body is re-rendered per request by a caller
+// `BodyFn` — typically obs::render_prometheus over the daemon's registry.
+//
+// Driving: poll() is nonblocking and cooperative, made for the daemons'
+// existing single-threaded service loops (accept new connections, advance
+// each in flight, reap the finished). Not thread-safe; one owner drives it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/instrument.h"
+#include "transport/byte_stream.h"
+
+namespace rlir::transport {
+
+struct HttpMetricsConfig {
+  /// Largest request accepted (request line + headers). Longer ones answer
+  /// 431 and close. Must be >= 1.
+  std::size_t max_request_bytes = 8 * 1024;
+  /// Open connections beyond this are accepted and immediately closed
+  /// (overload shed). Must be >= 1.
+  std::size_t max_connections = 64;
+  /// Observability attachment: rlir_http_requests_total (200s) and
+  /// rlir_http_rejected_total (everything else, including shed connections).
+  obs::Instruments instruments;
+};
+
+class HttpMetricsServer {
+ public:
+  /// Renders the current /metrics body (called once per 200 response).
+  using BodyFn = std::function<std::string()>;
+
+  /// Takes ownership of the listener. Throws std::invalid_argument on a null
+  /// listener, a null body fn, or zero limits.
+  HttpMetricsServer(std::unique_ptr<Listener> listener, BodyFn body,
+                    HttpMetricsConfig config = {});
+
+  HttpMetricsServer(const HttpMetricsServer&) = delete;
+  HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+  /// One cooperative service pass: accepts pending connections, reads/parses
+  /// requests, writes responses, closes finished streams. Returns the number
+  /// of responses completed this pass.
+  std::size_t poll();
+
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+  [[nodiscard]] std::uint64_t requests_served() const;
+  [[nodiscard]] std::uint64_t requests_rejected() const;
+  [[nodiscard]] const HttpMetricsConfig& config() const { return config_; }
+
+ private:
+  struct Conn {
+    std::unique_ptr<ByteStream> stream;
+    std::vector<std::uint8_t> inbox;
+    std::string outbox;
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+
+  /// Parses the buffered request head and stages the response; true once the
+  /// connection is in the responding state.
+  bool stage_response(Conn& conn);
+  void count_response(int code);
+
+  HttpMetricsConfig config_;
+  std::unique_ptr<Listener> listener_;
+  BodyFn body_;
+  obs::Instrumented obs_;
+  obs::Counter* served_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace rlir::transport

@@ -19,7 +19,9 @@ using common::wire::take;
 using common::wire::take_f64;
 
 constexpr std::size_t kTupleSize = 4 + 4 + 2 + 2 + 1;
-constexpr std::size_t kQuerySize = 1 + 4 + 8 + kTupleSize;
+constexpr std::size_t kQuerySize = 1 + 4 + 8 + kTupleSize + 4 + 4;
+/// Window-reply coverage block: u8 flags | u32 first | u32 last | u64 records.
+constexpr std::size_t kWindowInfoSize = 1 + 4 + 4 + 8;
 constexpr std::size_t kTopEntrySize = 8 + kTupleSize + 8 + 8 + 8 + 8 + 8;
 /// Corruption guards, mirroring the record format's bin guard.
 constexpr std::uint32_t kMaxTopEntries = 1u << 20;
@@ -45,7 +47,42 @@ net::FiveTuple take_tuple(const std::uint8_t*& p) {
 
 [[nodiscard]] bool known_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(QueryKind::kFleet) &&
-         k <= static_cast<std::uint8_t>(QueryKind::kMetrics);
+         k <= static_cast<std::uint8_t>(QueryKind::kWindowFlowQuantile);
+}
+
+void put_window(std::uint8_t*& p, const WindowInfo& window) {
+  std::uint8_t flags = 0;
+  if (window.covered) flags |= 1;
+  if (window.complete) flags |= 2;
+  put<std::uint8_t>(p, flags);
+  put<std::uint32_t>(p, window.first);
+  put<std::uint32_t>(p, window.last);
+  put<std::uint64_t>(p, window.records);
+}
+
+[[nodiscard]] WindowInfo take_window(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < kWindowInfoSize) {
+    throw std::runtime_error("QueryReply: truncated window coverage");
+  }
+  const auto flags = take<std::uint8_t>(p);
+  if ((flags & ~0x3u) != 0) {
+    throw std::runtime_error("QueryReply: reserved window flag bits set");
+  }
+  WindowInfo window;
+  window.covered = (flags & 1) != 0;
+  window.complete = (flags & 2) != 0;
+  window.first = take<std::uint32_t>(p);
+  window.last = take<std::uint32_t>(p);
+  window.records = take<std::uint64_t>(p);
+  return window;
+}
+
+/// A present flag must be exactly 0 or 1 (reject-don't-guess).
+[[nodiscard]] bool take_present(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (end - p < 1) throw std::runtime_error("QueryReply: truncated present flag");
+  const auto present = take<std::uint8_t>(p);
+  if (present > 1) throw std::runtime_error("QueryReply: bad present flag");
+  return present == 1;
 }
 
 }  // namespace
@@ -65,6 +102,8 @@ std::vector<std::uint8_t> encode_query(const Query& query) {
   put<std::uint32_t>(p, query.k);
   put_f64(p, query.q);
   put_tuple(p, query.key);
+  put<std::uint32_t>(p, query.epoch_first);
+  put<std::uint32_t>(p, query.epoch_last);
   return buf;
 }
 
@@ -83,6 +122,11 @@ Query decode_query(const std::uint8_t* data, std::size_t size) {
     throw std::runtime_error("Query: quantile outside [0, 1]");
   }
   query.key = take_tuple(p);
+  query.epoch_first = take<std::uint32_t>(p);
+  query.epoch_last = take<std::uint32_t>(p);
+  if (query.epoch_first > query.epoch_last) {
+    throw std::runtime_error("Query: epoch window reversed");
+  }
   return query;
 }
 
@@ -114,6 +158,18 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
       break;
     case QueryKind::kMetrics:
       body = obs::scrape_wire_size(reply.scrape);
+      break;
+    case QueryKind::kWindowFleet:
+    case QueryKind::kWindowLink:
+      body = kWindowInfoSize + 1 +
+             (reply.window_sketch.has_value() ? collect::sketch_wire_size(*reply.window_sketch)
+                                              : 0);
+      break;
+    case QueryKind::kWindowFlowQuantile:
+      body = kWindowInfoSize + 1 +
+             (reply.window_sketch.has_value()
+                  ? 8 + collect::sketch_wire_size(*reply.window_sketch)
+                  : 0);
       break;
   }
   std::vector<std::uint8_t> buf(1 + body);
@@ -165,6 +221,20 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
       p += segment.size();
       break;
     }
+    case QueryKind::kWindowFleet:
+    case QueryKind::kWindowLink:
+      put_window(p, reply.window);
+      put<std::uint8_t>(p, reply.window_sketch.has_value() ? 1 : 0);
+      if (reply.window_sketch.has_value()) collect::encode_sketch(p, *reply.window_sketch);
+      break;
+    case QueryKind::kWindowFlowQuantile:
+      put_window(p, reply.window);
+      put<std::uint8_t>(p, reply.window_sketch.has_value() ? 1 : 0);
+      if (reply.window_sketch.has_value()) {
+        put_f64(p, reply.quantile.value_or(0.0));
+        collect::encode_sketch(p, *reply.window_sketch);
+      }
+      break;
   }
   return buf;
 }
@@ -243,6 +313,19 @@ QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
     }
     case QueryKind::kMetrics:
       reply.scrape = obs::decode_scrape(p, end);
+      break;
+    case QueryKind::kWindowFleet:
+    case QueryKind::kWindowLink:
+      reply.window = take_window(p, end);
+      if (take_present(p, end)) reply.window_sketch = collect::decode_sketch(p, end);
+      break;
+    case QueryKind::kWindowFlowQuantile:
+      reply.window = take_window(p, end);
+      if (take_present(p, end)) {
+        if (end - p < 8) throw std::runtime_error("QueryReply: truncated window quantile");
+        reply.quantile = take_f64(p);
+        reply.window_sketch = collect::decode_sketch(p, end);
+      }
       break;
   }
   if (p != end) throw std::runtime_error("QueryReply: trailing bytes");

@@ -8,6 +8,7 @@
 // helpers so a sketch has exactly one byte layout in the whole system.
 //
 //   query:  u8 kind | u32 k | f64 q | 5-tuple (13 bytes)
+//           | u32 epoch_first | u32 epoch_last
 //   reply:  u8 kind | kind-specific body:
 //     kFleet        -> sketch segment
 //     kTopK         -> u32 count | count x (f64 rank | 5-tuple | u64 packets
@@ -18,6 +19,16 @@
 //     kFlowSketch   -> u8 present | sketch segment (when present)
 //     kLinks        -> u32 count | count x (u32 link | sketch segment)
 //     kMetrics      -> obs scrape segment (see obs/wire.h)
+//     kWindowFleet / kWindowLink
+//                   -> coverage block (u8 flags | u32 first | u32 last
+//                      | u64 records) | u8 present | sketch segment (when
+//                      present)
+//     kWindowFlowQuantile
+//                   -> coverage block | u8 present | f64 value
+//                      | sketch segment (when present; the sketch rides
+//                      along so a coordinator can merge split flows exactly
+//                      and re-derive the quantile)
+// docs/WIRE.md carries the byte-level offset tables and validation rules.
 #pragma once
 
 #include <cstddef>
@@ -53,16 +64,42 @@ enum class QueryKind : std::uint8_t {
   /// AgentStats counters as synthetic samples), plus the event trace —
   /// what a remote scraper or a coordinator roll-up reads.
   kMetrics = 7,
+  /// Time-travel: the fleet-wide distribution merged over the epoch window
+  /// [epoch_first, epoch_last] from the agent's history store.
+  kWindowFleet = 8,
+  /// Time-travel: one vantage's distribution over the window (link id in
+  /// `k`; absent if the link is unseen there).
+  kWindowLink = 9,
+  /// Time-travel: one flow's quantile over the window, with the merged
+  /// window sketch riding along for exact cross-agent merging.
+  kWindowFlowQuantile = 10,
 };
 
 struct Query {
   QueryKind kind = QueryKind::kFleet;
-  /// kTopK: how many flows.
+  /// kTopK: how many flows. kWindowLink: the link id.
   std::uint32_t k = 0;
-  /// kTopK / kFlowQuantile: the quantile.
+  /// kTopK / kFlowQuantile / kWindowFlowQuantile: the quantile.
   double q = 0.99;
-  /// kFlowQuantile / kFlowSketch: the flow.
+  /// kFlowQuantile / kFlowSketch / kWindowFlowQuantile: the flow.
   net::FiveTuple key;
+  /// kWindow*: inclusive epoch range. Decoding rejects first > last
+  /// (reject-don't-guess, like every other validation here).
+  std::uint32_t epoch_first = 0;
+  std::uint32_t epoch_last = 0;
+};
+
+/// What a window reply's merged answer actually covers — the wire form of
+/// collect::WindowCoverage (requested bounds stay with the asker).
+struct WindowInfo {
+  bool covered = false;   ///< at least one retained segment intersected
+  bool complete = false;  ///< every requested epoch was retained
+  /// Bounds of the segments merged (compaction snaps outward; eviction and
+  /// the future snap inward). Meaningful only when covered.
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  /// Records contributing to the covered segments.
+  std::uint64_t records = 0;
 };
 
 /// The agent-side counters a kStats reply carries.
@@ -121,6 +158,12 @@ struct QueryReply {
   /// kLinks: link id -> merged distribution, ascending by link.
   std::vector<std::pair<collect::LinkId, common::LatencySketch>> links;
   obs::Scrape scrape;                               // kMetrics
+  WindowInfo window;                                // kWindow*
+  /// kWindowFleet / kWindowLink / kWindowFlowQuantile: the window's merged
+  /// sketch. Absent when nothing was covered (or, for kWindowLink /
+  /// kWindowFlowQuantile, the target never appeared in the window). An
+  /// agent without a history store answers covered=false, absent.
+  std::optional<common::LatencySketch> window_sketch;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const Query& query);

@@ -317,7 +317,9 @@ TEST(QueryCoordinator, UnreachableAgentYieldsPartialTruth) {
   EXPECT_FALSE(per_agent[1].has_value());
   EXPECT_EQ(coord.fleet_stats().records_ingested, batch.size());
 
-  EXPECT_THROW(QueryCoordinator(QueryCoordinatorConfig{{}, 0}), std::invalid_argument);
+  QueryCoordinatorConfig zero_rounds;
+  zero_rounds.reply_rounds = 0;
+  EXPECT_THROW(QueryCoordinator{zero_rounds}, std::invalid_argument);
 }
 
 }  // namespace
