@@ -30,6 +30,7 @@
 #include "collect/history.h"
 #include "collect/sharded_collector.h"
 #include "common/rng.h"
+#include "obs/span.h"
 #include "trace/synthetic.h"
 #include "trace/trace_file.h"
 
@@ -239,6 +240,41 @@ int run(std::uint64_t target_packets, std::size_t shard_count, std::uint32_t epo
   print_metric("history_overhead", plain_rate / history_rate, "x");
   print_metric("history_bytes", history_bytes, "bytes");
   print_metric("history_epochs", history_epochs, "epochs");
+
+  // --- Stage 3a': the same serial view-path ingest with the tracing
+  // recorder attached — one kAgentIngest span per epoch batch into a live
+  // SpanRecorder with the stage histograms bound, which is exactly what a
+  // traced agent records per delivered frame. CI gates this against the
+  // baseline so the recorder stays per-batch (one mutex + one histogram
+  // observe per epoch), never per-record. Alternates with plain passes and
+  // reports the best, like the history tee above.
+  const auto time_traced = [&](collect::ShardedCollector& c, obs::SpanRecorder& spans) {
+    const auto start = Clock::now();
+    for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+      views.clear();
+      collect::decode_record_views_prefix(bytes.data(), bytes.size(), views);
+      obs::SpanTimer span(&spans, obs::SpanKind::kAgentIngest, {},
+                          "epoch" + std::to_string(epoch));
+      for (auto& v : views) {
+        v.epoch = epoch;
+        c.ingest(v);
+      }
+    }
+    return seconds_since(start);
+  };
+  double traced_rate = 0.0;
+  double traced_spans = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    obs::MetricsRegistry registry;
+    obs::SpanRecorder spans;
+    spans.bind_metrics(&registry, {});
+    collect::ShardedCollector traced(collector_cfg);
+    traced_rate = std::max(traced_rate, total_records / time_traced(traced, spans));
+    traced_spans = static_cast<double>(spans.total());
+  }
+  print_metric("collector_rate_traced", traced_rate, "records/s");
+  print_metric("tracing_overhead", plain_rate / traced_rate, "x");
+  print_metric("tracing_spans", traced_spans, "spans");
 
   // --history: re-run with tiers shrunk so EVERY epoch boundary folds the
   // raw log into the mid/coarse maps — the worst-case compaction tax (each

@@ -23,6 +23,8 @@
 
 #include "collect/slo_watcher.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "transport/agent.h"
 #include "transport/http_metrics.h"
 #include "transport/socket.h"
@@ -37,13 +39,14 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --listen (tcp:HOST:PORT | unix:PATH) [--shards N] "
                "[--idle-exit-ms MS] [--metrics] [--metrics-every EPOCHS] [--quiet]\n"
-               "          [--http ADDR] [--history] [--slo-ns NS]\n"
+               "          [--http ADDR] [--history] [--slo-ns NS] [--slow-query-ms MS]\n"
                "  --metrics             dump the Prometheus scrape on exit\n"
                "  --metrics-every N     stderr health line every N ingested epochs (default 8)\n"
                "  --quiet               suppress the periodic health line\n"
-               "  --http ADDR           serve GET /metrics (Prometheus text) on ADDR\n"
+               "  --http ADDR           serve GET /metrics, /healthz, /trace on ADDR\n"
                "  --history             keep the epoch history store (kWindow* queries)\n"
-               "  --slo-ns NS           watch windowed p99 > NS per flow (implies --history)\n",
+               "  --slo-ns NS           watch windowed p99 > NS per flow (implies --history)\n"
+               "  --slow-query-ms MS    log spans slower than MS to the event trace\n",
                argv0);
   return 2;
 }
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
   std::string http_text;
   bool enable_history = false;
   double slo_ns = 0.0;
+  long slow_query_ms = 0;  // 0 = slow-span logging off
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen_text = argv[++i];
@@ -97,6 +101,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slo-ns") == 0 && i + 1 < argc) {
       slo_ns = std::strtod(argv[++i], nullptr);
       enable_history = true;  // the watcher reads the store
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      slow_query_ms = std::strtol(argv[++i], nullptr, 10);
     } else {
       return usage(argv[0]);
     }
@@ -106,10 +112,19 @@ int main(int argc, char** argv) {
   using namespace rlir;
   try {
     const auto address = transport::SocketAddress::parse(listen_text);
+    // Always-on self-profiling ring: decode/ingest/answer spans per frame,
+    // served back through kTraceSpans and GET /trace. Declared before the
+    // agent so the agent's bind in its ctor sees a live recorder.
+    obs::SpanRecorder spans;
     transport::CollectorAgentConfig cfg;
     cfg.collector.shard_count = shards;
     cfg.enable_history = enable_history;
+    cfg.instruments.spans = &spans;
     transport::CollectorAgent agent(cfg);
+    if (slow_query_ms > 0) {
+      spans.set_slow_log(slow_query_ms * 1'000'000, &agent.events());
+      std::printf("collector_daemon: slow-span log at %ld ms\n", slow_query_ms);
+    }
     auto listener = std::make_unique<transport::SocketListener>(address);
     std::printf("collector_daemon: listening on %s (%zu shards, thread-per-shard ingest)\n",
                 listener->address().to_string().c_str(), shards);
@@ -128,7 +143,32 @@ int main(int argc, char** argv) {
             obs::append_event_counters(scrape.metrics, scrape.events);
             return obs::to_prometheus(scrape.metrics);
           });
+      const auto started = std::chrono::steady_clock::now();
+      http->add_route("/healthz", [&agent, started] {
+        const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                                std::chrono::steady_clock::now() - started)
+                                .count();
+        const auto stats = agent.stats();
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "{\"status\":\"ok\",\"uptime_s\":%lld,\"epochs\":%llu,"
+                      "\"records\":%llu}\n",
+                      static_cast<long long>(uptime),
+                      static_cast<unsigned long long>(stats.epochs),
+                      static_cast<unsigned long long>(stats.records_ingested));
+        return std::string(buf);
+      });
+      http->add_route("/trace", [&spans] {
+        return obs::to_chrome_trace(spans.snapshot().spans, "collector_daemon");
+      });
     }
+    // Black-box dump on SLO violations: the span ring + recent events, as
+    // one JSON document on stderr (rate-limited inside the recorder).
+    obs::FlightRecorder flight(&spans, &agent.events(),
+                               [](const std::string& reason, const std::string& json) {
+                                 std::fprintf(stderr, "FLIGHT RECORDER (%s):\n%s",
+                                              reason.c_str(), json.c_str());
+                               });
     std::unique_ptr<collect::SloWatcher> watcher;
     if (slo_ns > 0.0) {
       collect::SloWatcherConfig wcfg;
@@ -163,6 +203,7 @@ int main(int argc, char** argv) {
                            f.score);
             }
           }
+          flight.trigger("slo:" + v.key.to_string());
         }
       }
       if (agent.connection_count() > 0) saw_connection = true;

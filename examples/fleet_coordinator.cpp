@@ -27,6 +27,8 @@
 #include "collect/epoch_scheduler.h"
 #include "collect/fleet.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "rli/sender.h"
 #include "rlir/demux.h"
 #include "rlir/sender_agent.h"
@@ -47,15 +49,22 @@ std::atomic<bool> g_stop{false};
 void handle_signal(int) { g_stop.store(true); }
 
 int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
-        bool dump_metrics, const std::string& http_text) {
+        bool dump_metrics, const std::string& http_text, const std::string& trace_dump) {
   using timebase::Duration;
 
   // --- The fleet: dialed daemons, or in-process agents on loopback pipes.
+  // In-process agents get their own span rings so collect_trace() can pull
+  // their side of the story; dialed daemons bring their own (see
+  // collector_daemon).
+  std::vector<std::unique_ptr<obs::SpanRecorder>> agent_spans;
   std::vector<std::unique_ptr<transport::CollectorAgent>> local_agents;
   std::vector<transport::CollectorClient::StreamFactory> factories;
   if (connect_texts.empty()) {
     for (std::size_t i = 0; i < n_agents; ++i) {
-      local_agents.push_back(std::make_unique<transport::CollectorAgent>());
+      agent_spans.push_back(std::make_unique<obs::SpanRecorder>());
+      transport::CollectorAgentConfig acfg;
+      acfg.instruments.spans = agent_spans.back().get();
+      local_agents.push_back(std::make_unique<transport::CollectorAgent>(acfg));
       factories.push_back([&local_agents, i]() {
         auto [client_end, agent_end] = transport::make_loopback();
         local_agents[i]->add_connection(std::move(agent_end));
@@ -170,8 +179,13 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
                 pc.endpoint_healthy(i) ? "healthy" : "DOWN");
   }
 
-  // --- Fleet queries: the coordinator fans out and merges.
-  transport::QueryCoordinator coord;
+  // --- Fleet queries: the coordinator fans out and merges. Every fan-out
+  // below is traced end to end: merge span -> per-agent leg spans -> client
+  // query spans -> agent answer spans (pulled back via collect_trace).
+  obs::SpanRecorder coord_spans;
+  transport::QueryCoordinatorConfig coord_cfg;
+  coord_cfg.instruments.spans = &coord_spans;
+  transport::QueryCoordinator coord(coord_cfg);
   for (auto& factory : factories) coord.add_agent(std::move(factory));
   if (!local_agents.empty()) coord.set_drive(poll_local);
   if (coord.connected_count() == 0) {
@@ -214,6 +228,37 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
               static_cast<unsigned long long>(delivered),
               static_cast<unsigned long long>(totals.records_ingested),
               conserved ? "exact" : "MISMATCH");
+  if (!conserved) {
+    // Lost records are exactly what the flight recorder exists for: dump the
+    // coordinator's span ring + event trace as one black-box JSON document.
+    obs::FlightRecorder flight(
+        &coord_spans, &coord.events(),
+        [](const std::string& reason, const std::string& json) {
+          std::fprintf(stderr, "FLIGHT RECORDER (%s):\n%s", reason.c_str(), json.c_str());
+        });
+    flight.trigger("conservation-mismatch");
+  }
+
+  // --- The last fan-out, reassembled across processes: merge + legs +
+  // client hops from the coordinator's ring, answer spans from each agent.
+  const auto trace = coord.collect_trace();
+  std::printf("\ntrace %016llx: %zu spans across %zu processes "
+              "(%zu agents answered%s)\n",
+              static_cast<unsigned long long>(trace.trace_id), trace.size(),
+              trace.processes.size(), trace.agents_answered,
+              trace.spans_dropped > 0 ? ", ring evictions — may have gaps" : "");
+  if (!trace_dump.empty()) {
+    const std::string json = obs::to_chrome_trace(trace.processes);
+    std::FILE* out = std::fopen(trace_dump.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "fleet_coordinator: cannot write %s\n", trace_dump.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %zu-span Chrome trace to %s (chrome://tracing, Perfetto)\n",
+                trace.size(), trace_dump.c_str());
+  }
 
   if (dump_metrics) {
     // The fleet roll-up a monitoring system would scrape: every agent's
@@ -255,6 +300,7 @@ int main(int argc, char** argv) {
   std::size_t n_agents = 4;
   bool dump_metrics = false;
   std::string http_text;
+  std::string trace_dump;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -268,19 +314,24 @@ int main(int argc, char** argv) {
       dump_metrics = true;
     } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
       http_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0 && i + 1 < argc) {
+      trace_dump = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--connect ADDR[,ADDR...]] [--agents N] [--metrics] [--http ADDR]\n"
+                   "          [--trace-dump FILE]\n"
                    "  ADDR = tcp:HOST:PORT | unix:PATH\n"
-                   "  --metrics   dump the merged fleet scrape (Prometheus text)\n"
-                   "  --http ADDR serve the merged scrape as GET /metrics until Ctrl-C\n",
+                   "  --metrics         dump the merged fleet scrape (Prometheus text)\n"
+                   "  --http ADDR       serve the merged scrape as GET /metrics until Ctrl-C\n"
+                   "  --trace-dump FILE write the last query's assembled cross-process trace\n"
+                   "                    as Chrome trace-event JSON\n",
                    argv[0]);
       return 2;
     }
   }
   if (n_agents == 0) return 2;
   try {
-    return rlir::run(connect_texts, n_agents, dump_metrics, http_text);
+    return rlir::run(connect_texts, n_agents, dump_metrics, http_text, trace_dump);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet_coordinator: %s\n", e.what());
     return 1;

@@ -23,6 +23,7 @@
 #include "collect/estimate_record.h"
 #include "common/rng.h"
 #include "obs/exposition.h"
+#include "obs/span.h"
 #include "transport/agent.h"
 #include "transport/coordinator.h"
 #include "transport/partitioned_client.h"
@@ -71,14 +72,18 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
         bool prom, bool json, bool windowed, std::uint32_t window_first,
         std::uint32_t window_last) {
   // --- The fleet: dialed daemons, or demo agents fed a synthetic workload.
+  std::vector<std::unique_ptr<obs::SpanRecorder>> agent_spans;
   std::vector<std::unique_ptr<transport::CollectorAgent>> local_agents;
   std::vector<transport::CollectorClient::StreamFactory> factories;
   if (connect_texts.empty()) {
     for (std::size_t i = 0; i < n_agents; ++i) {
       // Demo agents keep history so --window has something to answer
-      // (daemons need their own --history flag).
+      // (daemons need their own --history flag) and a span ring so the
+      // worst-hop report has agent-side spans (daemons always have one).
+      agent_spans.push_back(std::make_unique<obs::SpanRecorder>());
       transport::CollectorAgentConfig cfg;
       cfg.enable_history = true;
+      cfg.instruments.spans = agent_spans.back().get();
       local_agents.push_back(std::make_unique<transport::CollectorAgent>(cfg));
       factories.push_back([&local_agents, i]() {
         auto [client_end, agent_end] = transport::make_loopback();
@@ -117,8 +122,13 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
     poll_local();
   }
 
-  // --- The scrape: one kMetrics fan-out, merged + per-agent.
-  transport::QueryCoordinator coord;
+  // --- The scrape: one kMetrics fan-out, merged + per-agent. The fan-out
+  // is traced (the coordinator carries a span ring), so the report can end
+  // with a worst-hop breakdown pulled back through kTraceSpans.
+  obs::SpanRecorder coord_spans;
+  transport::QueryCoordinatorConfig coord_cfg;
+  coord_cfg.instruments.spans = &coord_spans;
+  transport::QueryCoordinator coord(coord_cfg);
   for (auto& factory : factories) coord.add_agent(std::move(factory));
   if (!local_agents.empty()) coord.set_drive(poll_local);
   if (coord.connected_count() == 0) {
@@ -185,6 +195,35 @@ int run(const std::vector<std::string>& connect_texts, std::size_t n_agents,
                 static_cast<unsigned long long>(
                     counter_total(s.metrics, "rlir_agent_connections_accepted_total")),
                 static_cast<unsigned long long>(s.events.count(obs::EventKind::kDisconnect)));
+  }
+
+  // --- Where the scrape's time went, worst hop per stage: the coordinator's
+  // merge/leg/query spans plus each agent's decode/ingest/answer spans,
+  // reassembled across processes via the kTraceSpans fan-out.
+  const auto trace = coord.collect_trace();
+  if (trace.size() > 0) {
+    struct Worst {
+      const obs::Span* span = nullptr;
+      const std::string* process = nullptr;
+    };
+    Worst worst[obs::kSpanKindCount] = {};
+    for (const auto& [process, spans] : trace.processes) {
+      for (const auto& s : spans) {
+        auto& w = worst[static_cast<std::size_t>(s.kind) - 1];
+        if (w.span == nullptr || s.duration_ns() > w.span->duration_ns()) {
+          w.span = &s;
+          w.process = &process;
+        }
+      }
+    }
+    std::printf("\nworst hop per stage (%zu spans across %zu processes):\n", trace.size(),
+                trace.processes.size());
+    for (const auto& w : worst) {
+      if (w.span == nullptr) continue;
+      std::printf("  %-12s %10.1fus  in %s%s%s\n", obs::span_kind_stage(w.span->kind),
+                  w.span->duration_ns() / 1e3, w.process->c_str(),
+                  w.span->label.empty() ? "" : "  ", w.span->label.c_str());
+    }
   }
 
   if (windowed) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "collect/history.h"
+#include "obs/span.h"
 
 namespace rlir::collect {
 
@@ -56,6 +57,7 @@ void EpochScheduler::deliver_locked(std::uint32_t epoch,
 }
 
 std::uint32_t EpochScheduler::fire_locked() {
+  obs::SpanTimer seal(obs_.spans(), obs::SpanKind::kEpochSeal);
   const std::uint32_t epoch = next_epoch_++;
   for (const auto& hook : hooks_) hook(epoch);
   // Registration order, not exporter address order: batches are delivered in
@@ -68,6 +70,7 @@ std::uint32_t EpochScheduler::fire_locked() {
   epochs_fired_->increment();
   obs_.trace().record(obs::EventKind::kEpochFlush, records_delivered_->value() - before,
                       "epoch " + std::to_string(epoch));
+  seal.set_label("epoch" + std::to_string(epoch));
   return epoch;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace rlir::collect {
 
 namespace {
@@ -417,6 +419,7 @@ std::optional<common::LatencySketch> SketchHistoryStore::window_flow(
     std::uint32_t epoch_first, std::uint32_t epoch_last, const net::FiveTuple& key,
     WindowCoverage* coverage) const {
   if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  obs::SpanTimer span(obs_.spans(), obs::SpanKind::kHistoryWindow, {}, "flow");
   std::lock_guard<std::mutex> lock(mu_);
   common::LatencySketch out(config_.sketch);
   bool found = false;
@@ -458,6 +461,7 @@ std::optional<common::LatencySketch> SketchHistoryStore::window_link(
     std::uint32_t epoch_first, std::uint32_t epoch_last, LinkId link,
     WindowCoverage* coverage) const {
   if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  obs::SpanTimer span(obs_.spans(), obs::SpanKind::kHistoryWindow, {}, "link");
   std::lock_guard<std::mutex> lock(mu_);
   common::LatencySketch out(config_.sketch);
   bool found = false;
@@ -491,6 +495,7 @@ common::LatencySketch SketchHistoryStore::window_fleet(std::uint32_t epoch_first
                                                        std::uint32_t epoch_last,
                                                        WindowCoverage* coverage) const {
   if (epoch_first > epoch_last) std::swap(epoch_first, epoch_last);
+  obs::SpanTimer span(obs_.spans(), obs::SpanKind::kHistoryWindow, {}, "fleet");
   std::lock_guard<std::mutex> lock(mu_);
   common::LatencySketch out(config_.sketch);
   std::vector<RecordView> scratch;

@@ -16,6 +16,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kEpochFlush: return "epoch_flush";
     case EventKind::kLog: return "log";
     case EventKind::kSloViolation: return "slo_violation";
+    case EventKind::kSlowSpan: return "slow_span";
   }
   return "?";
 }

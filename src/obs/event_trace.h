@@ -28,8 +28,9 @@ enum class EventKind : std::uint8_t {
   kEpochFlush = 8,
   kLog = 9,  ///< WARN+ log line bridged in via obs::LogBridge.
   kSloViolation = 10,  ///< Windowed SLO breach detected by collect::SloWatcher.
+  kSlowSpan = 11,  ///< Span over the slow-query threshold (obs::SpanRecorder).
 };
-inline constexpr std::size_t kEventKindCount = 10;
+inline constexpr std::size_t kEventKindCount = 11;
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
 

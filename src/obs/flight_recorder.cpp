@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace rlir::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const SpanRecorder* spans, const EventTrace* events, Sink sink)
+    : spans_(spans), events_(events), sink_(std::move(sink)) {}
+
+std::string FlightRecorder::dump(const std::string& reason) const {
+  std::string out = "{\"reason\":";
+  append_json_string(out, reason);
+  char buf[160];
+  std::snprintf(buf, sizeof buf, ",\"ts_ns\":%" PRId64, SpanRecorder::now_ns());
+  out += buf;
+
+  if (events_ != nullptr) {
+    const EventTraceSnapshot ev = events_->snapshot();
+    std::snprintf(buf, sizeof buf, ",\"events\":{\"dropped\":%" PRIu64 ",\"recent\":[",
+                  ev.dropped);
+    out += buf;
+    bool first = true;
+    for (const auto& e : ev.events) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof buf,
+                    "\n{\"kind\":\"%s\",\"ts_ns\":%" PRId64 ",\"value\":%" PRIu64
+                    ",\"detail\":",
+                    event_kind_name(e.kind), e.ts_ns, e.value);
+      out += buf;
+      append_json_string(out, e.detail);
+      out += '}';
+    }
+    out += "]}";
+  }
+
+  if (spans_ != nullptr) {
+    const SpanRecorderSnapshot snap = spans_->snapshot();
+    std::snprintf(buf, sizeof buf,
+                  ",\"spans\":{\"dropped\":%" PRIu64 ",\"total\":%" PRIu64 ",\"chrome_trace\":",
+                  snap.dropped, snap.total);
+    out += buf;
+    out += to_chrome_trace(snap.spans, "flight");
+    // to_chrome_trace ends with a newline; keep the document compact.
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+    out += '}';
+  }
+
+  out += "}\n";
+  return out;
+}
+
+bool FlightRecorder::trigger(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t now = SpanRecorder::now_ns();
+    if (last_dump_ns_ != 0 && now - last_dump_ns_ < kMinIntervalNs) {
+      suppressed_ += 1;
+      return false;
+    }
+    last_dump_ns_ = now;
+    dumps_ += 1;
+  }
+  // Render and deliver outside mu_: the sink may be slow (file write), and
+  // dump() only touches the sources' own locks.
+  if (sink_) sink_(reason, dump(reason));
+  return true;
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+std::uint64_t FlightRecorder::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+}  // namespace rlir::obs

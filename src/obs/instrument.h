@@ -18,11 +18,17 @@
 
 namespace rlir::obs {
 
+class SpanRecorder;
+
 /// Borrowed observability endpoints. Null members mean "own a private one".
 /// The pointed-to objects must outlive the component holding this.
 struct Instruments {
   MetricsRegistry* registry = nullptr;
   EventTrace* trace = nullptr;
+  /// Tracing is opt-in: unlike registry/trace, a null recorder stays null
+  /// (no private fallback) and every instrumentation site is a pointer
+  /// check and nothing more.
+  SpanRecorder* spans = nullptr;
   /// Distinguishes sibling components sharing one registry; becomes an
   /// {instance="..."} label on every series when non-empty.
   std::string id;
@@ -32,7 +38,7 @@ struct Instruments {
 /// private ones where the caller did not share.
 class Instrumented {
  public:
-  explicit Instrumented(Instruments in) : id_(std::move(in.id)) {
+  explicit Instrumented(Instruments in) : spans_(in.spans), id_(std::move(in.id)) {
     if (in.registry != nullptr) {
       registry_ = in.registry;
     } else {
@@ -49,6 +55,8 @@ class Instrumented {
 
   [[nodiscard]] MetricsRegistry& registry() const { return *registry_; }
   [[nodiscard]] EventTrace& trace() const { return *trace_; }
+  /// The shared span recorder, or null when tracing is off.
+  [[nodiscard]] SpanRecorder* spans() const { return spans_; }
   [[nodiscard]] const std::string& id() const { return id_; }
 
   /// Base label set for this component's series: {{"instance", id}} when an
@@ -69,7 +77,7 @@ class Instrumented {
   /// An Instruments a parent passes to a child so it shares this
   /// component's registry/trace under its own instance id.
   [[nodiscard]] Instruments child(std::string child_id) const {
-    return Instruments{registry_, trace_, std::move(child_id)};
+    return Instruments{registry_, trace_, spans_, std::move(child_id)};
   }
 
  private:
@@ -77,6 +85,7 @@ class Instrumented {
   std::unique_ptr<EventTrace> owned_trace_;
   MetricsRegistry* registry_ = nullptr;
   EventTrace* trace_ = nullptr;
+  SpanRecorder* spans_ = nullptr;
   std::string id_;
 };
 

@@ -40,6 +40,8 @@ CollectorAgent::CollectorAgent(CollectorAgentConfig config)
   c_.connections_accepted = r.counter("rlir_agent_connections_accepted_total", base);
   c_.connections_closed = r.counter("rlir_agent_connections_closed_total", base);
   c_.batch_records = r.histogram("rlir_agent_batch_records", base);
+  spans_ = obs_.spans();
+  if (spans_ != nullptr) spans_->bind_metrics(&r, base);
 
   if (config_.enable_history) {
     collect::HistoryConfig hc = config_.history;
@@ -139,15 +141,56 @@ void CollectorAgent::handle_frame(Connection& conn, const FrameView& frame) {
       // on the ingest hot path.
       const std::uint8_t* p = frame.payload;
       std::size_t remaining = frame.size;
+      // Stage accounting only when tracing is attached — the untraced hot
+      // path keeps its exact instruction stream.
+      const std::int64_t t0 = spans_ != nullptr ? obs::SpanRecorder::now_ns() : 0;
+      std::int64_t decode_ns = 0;
+      std::int64_t ingest_ns = 0;
+      std::size_t frame_records = 0;
+      obs::TraceContext batch_ctx;
       while (remaining > 0) {
+        // A traced client appends one RLTC trailer after the last batch;
+        // "RLTC" vs "RLES" at a batch boundary is unambiguous.
+        if (is_trace_trailer(p, remaining)) {
+          batch_ctx = decode_trace_trailer(p, remaining);
+          break;
+        }
         view_scratch_.clear();
+        std::int64_t t = spans_ != nullptr ? obs::SpanRecorder::now_ns() : 0;
         const std::size_t consumed =
             collect::decode_record_views_prefix(p, remaining, view_scratch_);
+        if (spans_ != nullptr) decode_ns += obs::SpanRecorder::now_ns() - t;
         p += consumed;
         remaining -= consumed;
         batches_received_ += 1;
+        frame_records += view_scratch_.size();
         c_.batch_records->observe(static_cast<double>(view_scratch_.size()));
-        if (!view_scratch_.empty()) collector_.submit_views(view_scratch_);
+        if (!view_scratch_.empty()) {
+          t = spans_ != nullptr ? obs::SpanRecorder::now_ns() : 0;
+          collector_.submit_views(view_scratch_);
+          if (spans_ != nullptr) ingest_ns += obs::SpanRecorder::now_ns() - t;
+        }
+      }
+      if (spans_ != nullptr) {
+        // Two adjacent intervals, both children of the client flush that
+        // shipped the bytes (a trailer-less frame yields process-local
+        // spans: trace_id 0, still feeding the stage histograms).
+        obs::Span decode_span;
+        decode_span.trace_id = batch_ctx.trace_id;
+        decode_span.parent_id = batch_ctx.span_id;
+        decode_span.kind = obs::SpanKind::kAgentDecode;
+        decode_span.start_ns = t0;
+        decode_span.end_ns = t0 + decode_ns;
+        decode_span.label = std::to_string(frame_records) + " records";
+        spans_->record(std::move(decode_span));
+        obs::Span ingest_span;
+        ingest_span.trace_id = batch_ctx.trace_id;
+        ingest_span.parent_id = batch_ctx.span_id;
+        ingest_span.kind = obs::SpanKind::kAgentIngest;
+        ingest_span.start_ns = t0 + decode_ns;
+        ingest_span.end_ns = t0 + decode_ns + ingest_ns;
+        ingest_span.label = std::to_string(frame_records) + " records";
+        spans_->record(std::move(ingest_span));
       }
       break;
     }
@@ -156,6 +199,11 @@ void CollectorAgent::handle_frame(Connection& conn, const FrameView& frame) {
       // Counted before building the reply so a kStats answer includes the
       // query it is answering.
       queries_answered_ += 1;
+      // The answer span parents to whatever context the query carried
+      // (client hop, or bare coordinator leg). kTraceSpans is never traced:
+      // pulling a trace must not pollute it.
+      const bool trace_answer = spans_ != nullptr && query.kind != QueryKind::kTraceSpans;
+      const std::int64_t answer_t0 = trace_answer ? obs::SpanRecorder::now_ns() : 0;
       QueryReply reply;
       reply.kind = query.kind;
       switch (query.kind) {
@@ -214,6 +262,30 @@ void CollectorAgent::handle_frame(Connection& conn, const FrameView& frame) {
           reply.window.records = cov.records;
           break;
         }
+        case QueryKind::kTraceSpans: {
+          // No recorder attached -> empty ring, honestly: count 0, total 0.
+          if (spans_ == nullptr) break;
+          obs::SpanRecorderSnapshot snap = spans_->snapshot();
+          if (query.trace.valid()) {
+            std::erase_if(snap.spans, [&](const obs::Span& s) {
+              return s.trace_id != query.trace.trace_id;
+            });
+          }
+          reply.spans = std::move(snap.spans);
+          reply.spans_dropped = snap.dropped;
+          reply.spans_total = snap.total;
+          break;
+        }
+      }
+      if (trace_answer) {
+        obs::Span answer;
+        answer.trace_id = query.trace.trace_id;
+        answer.parent_id = query.trace.span_id;
+        answer.kind = obs::SpanKind::kAgentAnswer;
+        answer.start_ns = answer_t0;
+        answer.end_ns = obs::SpanRecorder::now_ns();
+        answer.label = query_kind_name(query.kind);
+        spans_->record(std::move(answer));
       }
       const auto bytes = encode_frame(FrameType::kQueryReply, encode_reply(reply));
       if (conn.outbox.size() - conn.outbox_offset + bytes.size() > config_.max_outbox_bytes) {

@@ -161,6 +161,11 @@ class CollectorAgent {
   };
   Cells c_{};
 
+  /// Tracing attachment (null = off): decode/ingest spans per record-batch
+  /// frame (parented to the client flush via the RLTC trailer), one answer
+  /// span per query, and the ring kTraceSpans serves from.
+  obs::SpanRecorder* spans_ = nullptr;
+
   /// Reused across poll()s so the hot path allocates nothing per call: the
   /// read buffer service() fills, and the RecordView scratch each record
   /// batch is decoded into (views borrow the decoder's buffer and are

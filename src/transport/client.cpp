@@ -36,6 +36,8 @@ CollectorClient::CollectorClient(CollectorClientConfig config, StreamFactory fac
   c_.queries_lost = r.counter("rlir_client_queries_lost_total", base);
   c_.buffered_bytes = r.gauge("rlir_client_buffered_bytes", base);
   c_.frame_bytes = r.histogram("rlir_client_frame_bytes", base);
+  spans_ = obs_.spans();
+  if (spans_ != nullptr) spans_->bind_metrics(&r, base);
   // Eager first dial so a healthy deployment starts connected; failure just
   // arms the backoff like any later outage.
   ensure_connected();
@@ -76,12 +78,29 @@ void CollectorClient::flush() { seal_coalescing(); }
 
 void CollectorClient::seal_coalescing() {
   if (coalescing_.empty()) return;
+  const std::int64_t t0 = spans_ != nullptr ? obs::SpanRecorder::now_ns() : 0;
+  obs::Span flush;
+  if (spans_ != nullptr) {
+    // Each sealed frame starts its own trace: the trailer carries this
+    // span's context, so the agent's decode/ingest spans for THESE bytes
+    // parent to the flush that shipped them.
+    flush.trace_id = spans_->new_trace_id();
+    flush.span_id = spans_->next_span_id();
+    flush.kind = obs::SpanKind::kClientFlush;
+    flush.start_ns = t0;
+    append_trace_trailer(coalescing_, obs::TraceContext{flush.trace_id, flush.span_id});
+  }
   QueuedFrame frame;
   frame.bytes = encode_frame(FrameType::kRecordBatch, coalescing_);
   frame.records = coalescing_records_;
   frame.is_batch = true;
   coalescing_.clear();
   coalescing_records_ = 0;
+  if (spans_ != nullptr) {
+    flush.end_ns = obs::SpanRecorder::now_ns();
+    flush.label = std::to_string(frame.records) + " records";
+    spans_->record(std::move(flush));
+  }
   enqueue(std::move(frame));
 }
 
@@ -132,6 +151,7 @@ bool CollectorClient::ensure_connected() {
       // exactly one loss however far the frame got.
       query_outstanding_ = false;
       c_.queries_lost->increment();
+      finish_query_span("lost");
     }
     for (std::size_t i = 0; i < queue_.size();) {
       if (queue_[i].is_batch) {
@@ -169,6 +189,7 @@ bool CollectorClient::ensure_connected() {
 
 std::size_t CollectorClient::pump() {
   if (!ensure_connected()) return 0;
+  const std::int64_t t0 = spans_ != nullptr ? obs::SpanRecorder::now_ns() : 0;
   std::size_t written = 0;
   while (!queue_.empty()) {
     // Gather up to io_chunk bytes across queued frames — the front frame
@@ -210,6 +231,16 @@ std::size_t CollectorClient::pump() {
   }
   c_.bytes_sent->add(written);
   c_.buffered_bytes->set(static_cast<std::int64_t>(buffered_bytes_));
+  // Only pumps that moved bytes earn a span — an idle pump is the common
+  // case in scheduler deployments and would drown the ring.
+  if (spans_ != nullptr && written > 0) {
+    obs::Span pump_span;
+    pump_span.kind = obs::SpanKind::kClientPump;
+    pump_span.start_ns = t0;
+    pump_span.end_ns = obs::SpanRecorder::now_ns();
+    pump_span.label = std::to_string(written) + " bytes";
+    spans_->record(std::move(pump_span));
+  }
   return written;
 }
 
@@ -235,11 +266,38 @@ void CollectorClient::send_query(const Query& query) {
   // Seal first so the reply reflects at least every record submitted before
   // the query (frames are delivered in queue order).
   seal_coalescing();
+  Query wire_query = query;
+  // Start the round-trip span and splice it into the propagated context, so
+  // the agent's answer span parents to THIS hop (not the coordinator leg two
+  // hops up). kTraceSpans is the meta-query: never traced, filter untouched.
+  if (spans_ != nullptr && query.kind != QueryKind::kTraceSpans) {
+    query_span_ = obs::Span{};
+    query_span_.trace_id =
+        query.trace.valid() ? query.trace.trace_id : spans_->new_trace_id();
+    query_span_.span_id = spans_->next_span_id();
+    query_span_.parent_id = query.trace.span_id;
+    query_span_.kind = obs::SpanKind::kClientQuery;
+    query_span_.start_ns = obs::SpanRecorder::now_ns();
+    query_span_.label = query_kind_name(query.kind);
+    query_span_active_ = true;
+    wire_query.trace = obs::TraceContext{query_span_.trace_id, query_span_.span_id};
+  }
   QueuedFrame frame;
-  frame.bytes = encode_frame(FrameType::kQuery, encode_query(query));
+  frame.bytes = encode_frame(FrameType::kQuery, encode_query(wire_query));
   enqueue(std::move(frame));
   query_outstanding_ = true;
   c_.queries_sent->increment();
+}
+
+void CollectorClient::finish_query_span(const char* status) {
+  if (!query_span_active_) return;
+  query_span_active_ = false;
+  query_span_.end_ns = obs::SpanRecorder::now_ns();
+  if (status != nullptr) {
+    query_span_.label += ' ';
+    query_span_.label += status;
+  }
+  spans_->record(std::move(query_span_));
 }
 
 std::optional<QueryReply> CollectorClient::poll_reply() {
@@ -266,6 +324,7 @@ std::optional<QueryReply> CollectorClient::poll_reply() {
   }
   query_outstanding_ = false;
   c_.replies_received->increment();
+  finish_query_span(nullptr);
   return decode_reply(frame->payload.data(), frame->payload.size());
 }
 
@@ -298,6 +357,7 @@ void CollectorClient::abandon_query() {
   reply_decoder_ = FrameDecoder();
   query_outstanding_ = false;
   c_.queries_lost->increment();
+  finish_query_span("abandoned");
 }
 
 collect::EpochScheduler::BatchSink CollectorClient::make_sink() {

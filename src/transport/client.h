@@ -186,6 +186,10 @@ class CollectorClient {
   void shed_to_cap();
   /// True when a usable stream exists after dial/backoff bookkeeping.
   bool ensure_connected();
+  /// Closes the pending kClientQuery span (reply arrived, or the query died
+  /// with the connection). `status` is appended to the span label when the
+  /// query was lost. No-op when tracing is off or no span is pending.
+  void finish_query_span(const char* status);
 
   CollectorClientConfig config_;
   StreamFactory factory_;
@@ -215,6 +219,13 @@ class CollectorClient {
   std::vector<std::uint8_t> reply_chunk_;
 
   obs::Instrumented obs_;
+  /// Tracing attachment (null = off). The pending query span lives here
+  /// between send_query and its reply/loss — queries are one-outstanding,
+  /// so one slot suffices.
+  obs::SpanRecorder* spans_ = nullptr;
+  obs::Span query_span_;
+  bool query_span_active_ = false;
+
   /// Registry cells (stable pointers). Hot-path updates are one relaxed
   /// atomic op each; stats() reads them back.
   struct Cells {

@@ -111,6 +111,24 @@ WindowInfo merge_window_info(const std::vector<std::optional<QueryReply>>& parts
 
 // --- The coordinator -------------------------------------------------------
 
+std::vector<obs::Span> AssembledTrace::sorted_spans() const {
+  std::vector<obs::Span> all;
+  all.reserve(size());
+  for (const auto& [name, spans] : processes) {
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  std::sort(all.begin(), all.end(), [](const obs::Span& a, const obs::Span& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.span_id < b.span_id;
+  });
+  return all;
+}
+
+std::size_t AssembledTrace::size() const {
+  std::size_t n = 0;
+  for (const auto& [name, spans] : processes) n += spans.size();
+  return n;
+}
+
 QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config)
     : config_(config), obs_(config.instruments) {
   if (config_.reply_rounds == 0) {
@@ -121,6 +139,8 @@ QueryCoordinator::QueryCoordinator(QueryCoordinatorConfig config)
   c_.queries_sent = r.counter("rlir_coord_queries_sent_total", base);
   c_.replies_merged = r.counter("rlir_coord_replies_merged_total", base);
   c_.agent_failures = r.counter("rlir_coord_agent_failures_total", base);
+  spans_ = obs_.spans();
+  if (spans_ != nullptr) spans_->bind_metrics(&r, base);
 }
 
 std::size_t QueryCoordinator::add_agent(StreamFactory factory) {
@@ -184,8 +204,64 @@ std::vector<std::optional<QueryReply>> QueryCoordinator::fan_out(const Query& qu
   // one-outstanding-query simplicity.
   std::vector<std::optional<QueryReply>> replies;
   replies.reserve(clients_.size());
-  for (std::size_t i = 0; i < clients_.size(); ++i) replies.push_back(ask(i, query));
+  if (spans_ == nullptr || query.kind == QueryKind::kTraceSpans) {
+    // Untraced, or the meta-query (pulling a trace must not pollute it).
+    for (std::size_t i = 0; i < clients_.size(); ++i) replies.push_back(ask(i, query));
+    return replies;
+  }
+  // One merge span roots the fan-out; each agent gets a leg span whose
+  // context rides the query (the client hop re-parents beneath it, the
+  // agent's answer span beneath that).
+  obs::Span merge;
+  merge.trace_id = query.trace.valid() ? query.trace.trace_id : spans_->new_trace_id();
+  merge.span_id = spans_->next_span_id();
+  merge.parent_id = query.trace.span_id;
+  merge.kind = obs::SpanKind::kCoordMerge;
+  merge.start_ns = obs::SpanRecorder::now_ns();
+  merge.label = query_kind_name(query.kind);
+  last_trace_id_ = merge.trace_id;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    obs::Span leg;
+    leg.trace_id = merge.trace_id;
+    leg.span_id = spans_->next_span_id();
+    leg.parent_id = merge.span_id;
+    leg.kind = obs::SpanKind::kCoordLeg;
+    leg.start_ns = obs::SpanRecorder::now_ns();
+    leg.label = "agent" + std::to_string(i);
+    Query traced = query;
+    traced.trace = obs::TraceContext{leg.trace_id, leg.span_id};
+    replies.push_back(ask(i, traced));
+    leg.end_ns = obs::SpanRecorder::now_ns();
+    if (!replies.back().has_value()) leg.label += " miss";
+    spans_->record(std::move(leg));
+  }
+  merge.end_ns = obs::SpanRecorder::now_ns();
+  spans_->record(std::move(merge));
   return replies;
+}
+
+AssembledTrace QueryCoordinator::collect_trace(std::uint64_t trace_id) {
+  if (trace_id == 0) trace_id = last_trace_id_;
+  AssembledTrace out;
+  out.trace_id = trace_id;
+  Query q;
+  q.kind = QueryKind::kTraceSpans;
+  if (trace_id != 0) q.trace = obs::TraceContext{trace_id, 0};
+  auto replies = fan_out(q);
+  // The coordinator's own ring holds the trace's merge, leg, and client-hop
+  // spans (clients share this recorder). The pull above added nothing to it:
+  // kTraceSpans is untraced end to end.
+  if (spans_ != nullptr) {
+    out.processes.emplace_back(
+        "coordinator", trace_id != 0 ? spans_->for_trace(trace_id) : spans_->snapshot().spans);
+  }
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].has_value()) continue;
+    out.agents_answered += 1;
+    out.spans_dropped = saturating_add(out.spans_dropped, replies[i]->spans_dropped);
+    out.processes.emplace_back("agent" + std::to_string(i), std::move(replies[i]->spans));
+  }
+  return out;
 }
 
 common::LatencySketch QueryCoordinator::fleet() {

@@ -109,6 +109,28 @@ struct WindowResult {
   WindowInfo window;
 };
 
+/// A cross-process trace reassembled by QueryCoordinator::collect_trace:
+/// the coordinator's own spans (merge, legs, and its agent-facing clients'
+/// query spans — they share the coordinator's recorder) plus every
+/// reachable agent's ring, pulled via kTraceSpans.
+struct AssembledTrace {
+  std::uint64_t trace_id = 0;
+  /// (process name, its spans): "coordinator" first (when the coordinator
+  /// has a recorder), then "agentN" for each agent that answered — the
+  /// exact shape obs::to_chrome_trace takes.
+  std::vector<std::pair<std::string, std::vector<obs::Span>>> processes;
+  /// Agents that answered the kTraceSpans fan-out.
+  std::size_t agents_answered = 0;
+  /// Sum of the answering rings' evictions — nonzero means the assembly may
+  /// have gaps (spans aged out before the pull).
+  std::uint64_t spans_dropped = 0;
+
+  /// Union of every process's spans, sorted by (start_ns, span_id).
+  [[nodiscard]] std::vector<obs::Span> sorted_spans() const;
+  /// Total spans across processes.
+  [[nodiscard]] std::size_t size() const;
+};
+
 // --- The coordinator -------------------------------------------------------
 
 struct QueryCoordinatorConfig {
@@ -190,6 +212,18 @@ class QueryCoordinator {
   /// Saturating field-wise sum over the agents that answered.
   [[nodiscard]] AgentStats fleet_stats();
 
+  // --- Tracing (kTraceSpans fan-out over agent span rings) -----------------
+
+  /// Pulls every agent's span ring (filtered to `trace_id` when nonzero;
+  /// 0 = the last traced fan-out, falling back to whole rings when no
+  /// fan-out was traced) and unions it with the coordinator's own ring into
+  /// one cross-process trace. The pull itself is never traced.
+  [[nodiscard]] AssembledTrace collect_trace(std::uint64_t trace_id = 0);
+
+  /// Trace id of the most recent traced fan-out (0 before the first one, or
+  /// when tracing is off).
+  [[nodiscard]] std::uint64_t last_trace_id() const { return last_trace_id_; }
+
   /// Per-agent metric/event scrapes (kMetrics fan-out); nullopt for agents
   /// that didn't answer.
   [[nodiscard]] std::vector<std::optional<obs::Scrape>> per_agent_scrapes();
@@ -231,6 +265,11 @@ class QueryCoordinator {
 
   QueryCoordinatorConfig config_;
   obs::Instrumented obs_;
+  /// Tracing attachment (null = off); shared with the agent-facing clients
+  /// via child(), so their query spans land in the same ring as the
+  /// coordinator's merge/leg spans.
+  obs::SpanRecorder* spans_ = nullptr;
+  std::uint64_t last_trace_id_ = 0;
   std::vector<std::unique_ptr<CollectorClient>> clients_;
   std::function<void()> drive_;
   /// Registry cells backing Stats (names rlir_coord_<field>_total).

@@ -49,22 +49,34 @@ constexpr std::size_t kReadChunk = 1024;
 
 HttpMetricsServer::HttpMetricsServer(std::unique_ptr<Listener> listener, BodyFn body,
                                      HttpMetricsConfig config)
-    : config_(config),
-      listener_(std::move(listener)),
-      body_(std::move(body)),
-      obs_(config.instruments) {
+    : config_(config), listener_(std::move(listener)), obs_(config.instruments) {
   if (listener_ == nullptr) {
     throw std::invalid_argument("HttpMetricsServer: listener must not be null");
-  }
-  if (!body_) {
-    throw std::invalid_argument("HttpMetricsServer: body fn must not be null");
   }
   if (config_.max_request_bytes == 0 || config_.max_connections == 0) {
     throw std::invalid_argument("HttpMetricsServer: limits must be >= 1");
   }
+  add_route("/metrics", std::move(body), "text/plain; version=0.0.4; charset=utf-8");
   auto& r = obs_.registry();
   served_ = r.counter("rlir_http_requests_total", obs_.labels());
   rejected_ = r.counter("rlir_http_rejected_total", obs_.labels());
+}
+
+void HttpMetricsServer::add_route(std::string path, BodyFn body, std::string content_type) {
+  if (path.empty() || path.front() != '/') {
+    throw std::invalid_argument("HttpMetricsServer: route path must start with '/'");
+  }
+  if (!body) {
+    throw std::invalid_argument("HttpMetricsServer: body fn must not be null");
+  }
+  for (auto& route : routes_) {
+    if (route.path == path) {
+      route.body = std::move(body);
+      route.content_type = std::move(content_type);
+      return;
+    }
+  }
+  routes_.push_back(Route{std::move(path), std::move(body), std::move(content_type)});
 }
 
 void HttpMetricsServer::count_response(int code) {
@@ -115,13 +127,22 @@ bool HttpMetricsServer::stage_response(Conn& conn) {
     conn.outbox = make_response(400, "Bad Request", "malformed request line\n",
                                 "text/plain", nullptr);
     count_response(400);
-  } else if (target == "/metrics") {
-    conn.outbox = make_response(200, "OK", body_(),
-                                "text/plain; version=0.0.4; charset=utf-8", nullptr);
-    count_response(200);
   } else {
-    conn.outbox = make_response(404, "Not Found", "try /metrics\n", "text/plain", nullptr);
-    count_response(404);
+    const Route* route = nullptr;
+    for (const auto& candidate : routes_) {
+      if (target == candidate.path) {
+        route = &candidate;
+        break;
+      }
+    }
+    if (route != nullptr) {
+      conn.outbox = make_response(200, "OK", route->body(), route->content_type.c_str(),
+                                  nullptr);
+      count_response(200);
+    } else {
+      conn.outbox = make_response(404, "Not Found", "try /metrics\n", "text/plain", nullptr);
+      count_response(404);
+    }
   }
   conn.responding = true;
   return true;

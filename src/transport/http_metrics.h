@@ -6,13 +6,14 @@
 // GET-only responder over the existing Listener/ByteStream layer (socket or
 // loopback — tests drive it deterministically through an in-memory pipe).
 //
-// Deliberately NOT a web server: one endpoint (`/metrics`, query strings
-// ignored), GET only, no keep-alive (every response carries
-// `Connection: close` and the stream closes after the flush), requests
-// capped at 8 KiB. Anything else gets the matching error status: 405 for
-// other methods, 404 for other targets, 400 for a malformed request line,
-// 431 when the cap trips. The body is re-rendered per request by a caller
-// `BodyFn` — typically obs::render_prometheus over the daemon's registry.
+// Deliberately NOT a web server: a handful of fixed routes (`/metrics`
+// always; daemons add `/healthz` and `/trace`; query strings ignored), GET
+// only, no keep-alive (every response carries `Connection: close` and the
+// stream closes after the flush), requests capped at 8 KiB. Anything else
+// gets the matching error status: 405 for other methods, 404 for other
+// targets, 400 for a malformed request line, 431 when the cap trips. Each
+// route's body is re-rendered per request by a caller `BodyFn` — typically
+// obs::render_prometheus over the daemon's registry.
 //
 // Driving: poll() is nonblocking and cooperative, made for the daemons'
 // existing single-threaded service loops (accept new connections, advance
@@ -44,16 +45,23 @@ struct HttpMetricsConfig {
 
 class HttpMetricsServer {
  public:
-  /// Renders the current /metrics body (called once per 200 response).
+  /// Renders one route's body (called once per 200 response).
   using BodyFn = std::function<std::string()>;
 
-  /// Takes ownership of the listener. Throws std::invalid_argument on a null
+  /// Takes ownership of the listener; `body` becomes the `/metrics` route
+  /// (Prometheus text content type). Throws std::invalid_argument on a null
   /// listener, a null body fn, or zero limits.
   HttpMetricsServer(std::unique_ptr<Listener> listener, BodyFn body,
                     HttpMetricsConfig config = {});
 
   HttpMetricsServer(const HttpMetricsServer&) = delete;
   HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+  /// Registers (or replaces) a GET route. `path` is matched exactly after
+  /// the query string is stripped. Throws std::invalid_argument on an empty
+  /// or non-"/" path or a null body fn.
+  void add_route(std::string path, BodyFn body,
+                 std::string content_type = "application/json");
 
   /// One cooperative service pass: accepts pending connections, reads/parses
   /// requests, writes responses, closes finished streams. Returns the number
@@ -79,9 +87,16 @@ class HttpMetricsServer {
   bool stage_response(Conn& conn);
   void count_response(int code);
 
+  struct Route {
+    std::string path;
+    BodyFn body;
+    std::string content_type;
+  };
+  /// Exact-match route table; linear scan (a daemon registers 2–3 routes).
+  std::vector<Route> routes_;
+
   HttpMetricsConfig config_;
   std::unique_ptr<Listener> listener_;
-  BodyFn body_;
   obs::Instrumented obs_;
   obs::Counter* served_ = nullptr;
   obs::Counter* rejected_ = nullptr;

@@ -20,12 +20,18 @@ using common::wire::take_f64;
 
 constexpr std::size_t kTupleSize = 4 + 4 + 2 + 2 + 1;
 constexpr std::size_t kQuerySize = 1 + 4 + 8 + kTupleSize + 4 + 4;
+/// Optional query trace block: u8 flags(=1) | u64 trace_id | u64 parent.
+constexpr std::size_t kTraceBlockSize = 1 + 8 + 8;
+constexpr std::size_t kTracedQuerySize = kQuerySize + kTraceBlockSize;
 /// Window-reply coverage block: u8 flags | u32 first | u32 last | u64 records.
 constexpr std::size_t kWindowInfoSize = 1 + 4 + 4 + 8;
 constexpr std::size_t kTopEntrySize = 8 + kTupleSize + 8 + 8 + 8 + 8 + 8;
+/// Fixed part of one kTraceSpans span entry (the label bytes follow).
+constexpr std::size_t kSpanEntryFixedSize = 8 + 8 + 8 + 1 + 8 + 8 + 2;
 /// Corruption guards, mirroring the record format's bin guard.
 constexpr std::uint32_t kMaxTopEntries = 1u << 20;
 constexpr std::uint32_t kMaxLinkEntries = 1u << 20;
+constexpr std::uint32_t kMaxSpanEntries = 1u << 20;
 
 void put_tuple(std::uint8_t*& p, const net::FiveTuple& key) {
   put<std::uint32_t>(p, key.src.value());
@@ -47,7 +53,7 @@ net::FiveTuple take_tuple(const std::uint8_t*& p) {
 
 [[nodiscard]] bool known_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(QueryKind::kFleet) &&
-         k <= static_cast<std::uint8_t>(QueryKind::kWindowFlowQuantile);
+         k <= static_cast<std::uint8_t>(QueryKind::kTraceSpans);
 }
 
 void put_window(std::uint8_t*& p, const WindowInfo& window) {
@@ -87,6 +93,23 @@ void put_window(std::uint8_t*& p, const WindowInfo& window) {
 
 }  // namespace
 
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kFleet: return "fleet";
+    case QueryKind::kTopK: return "top_k";
+    case QueryKind::kFlowQuantile: return "flow_quantile";
+    case QueryKind::kStats: return "stats";
+    case QueryKind::kFlowSketch: return "flow_sketch";
+    case QueryKind::kLinks: return "links";
+    case QueryKind::kMetrics: return "metrics";
+    case QueryKind::kWindowFleet: return "window_fleet";
+    case QueryKind::kWindowLink: return "window_link";
+    case QueryKind::kWindowFlowQuantile: return "window_flow_quantile";
+    case QueryKind::kTraceSpans: return "trace_spans";
+  }
+  return "?";
+}
+
 void append_agent_stats(obs::MetricsSnapshot& snap, const AgentStats& stats,
                         const obs::Labels& base_labels) {
   for (const auto& field : kAgentStatsFields) {
@@ -96,7 +119,8 @@ void append_agent_stats(obs::MetricsSnapshot& snap, const AgentStats& stats,
 }
 
 std::vector<std::uint8_t> encode_query(const Query& query) {
-  std::vector<std::uint8_t> buf(kQuerySize);
+  const bool traced = query.trace.valid();
+  std::vector<std::uint8_t> buf(traced ? kTracedQuerySize : kQuerySize);
   std::uint8_t* p = buf.data();
   put<std::uint8_t>(p, static_cast<std::uint8_t>(query.kind));
   put<std::uint32_t>(p, query.k);
@@ -104,11 +128,18 @@ std::vector<std::uint8_t> encode_query(const Query& query) {
   put_tuple(p, query.key);
   put<std::uint32_t>(p, query.epoch_first);
   put<std::uint32_t>(p, query.epoch_last);
+  if (traced) {
+    put<std::uint8_t>(p, 1);  // flags: bit 0 = trace context follows
+    put<std::uint64_t>(p, query.trace.trace_id);
+    put<std::uint64_t>(p, query.trace.span_id);
+  }
   return buf;
 }
 
 Query decode_query(const std::uint8_t* data, std::size_t size) {
-  if (size != kQuerySize) throw std::runtime_error("Query: wrong payload size");
+  if (size != kQuerySize && size != kTracedQuerySize) {
+    throw std::runtime_error("Query: wrong payload size");
+  }
   const std::uint8_t* p = data;
   Query query;
   const auto kind = take<std::uint8_t>(p);
@@ -126,6 +157,15 @@ Query decode_query(const std::uint8_t* data, std::size_t size) {
   query.epoch_last = take<std::uint32_t>(p);
   if (query.epoch_first > query.epoch_last) {
     throw std::runtime_error("Query: epoch window reversed");
+  }
+  if (size == kTracedQuerySize) {
+    const auto flags = take<std::uint8_t>(p);
+    if (flags != 1) throw std::runtime_error("Query: bad trace block flags");
+    query.trace.trace_id = take<std::uint64_t>(p);
+    query.trace.span_id = take<std::uint64_t>(p);
+    if (query.trace.trace_id == 0) {
+      throw std::runtime_error("Query: zero trace id in trace block");
+    }
   }
   return query;
 }
@@ -170,6 +210,10 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
              (reply.window_sketch.has_value()
                   ? 8 + collect::sketch_wire_size(*reply.window_sketch)
                   : 0);
+      break;
+    case QueryKind::kTraceSpans:
+      body = 4 + 8 + 8;
+      for (const auto& span : reply.spans) body += kSpanEntryFixedSize + span.label.size();
       break;
   }
   std::vector<std::uint8_t> buf(1 + body);
@@ -234,6 +278,22 @@ std::vector<std::uint8_t> encode_reply(const QueryReply& reply) {
         put_f64(p, reply.quantile.value_or(0.0));
         collect::encode_sketch(p, *reply.window_sketch);
       }
+      break;
+    case QueryKind::kTraceSpans:
+      put<std::uint32_t>(p, static_cast<std::uint32_t>(reply.spans.size()));
+      for (const auto& span : reply.spans) {
+        put<std::uint64_t>(p, span.trace_id);
+        put<std::uint64_t>(p, span.span_id);
+        put<std::uint64_t>(p, span.parent_id);
+        put<std::uint8_t>(p, static_cast<std::uint8_t>(span.kind));
+        put<std::uint64_t>(p, static_cast<std::uint64_t>(span.start_ns));
+        put<std::uint64_t>(p, static_cast<std::uint64_t>(span.end_ns));
+        put<std::uint16_t>(p, static_cast<std::uint16_t>(span.label.size()));
+        std::memcpy(p, span.label.data(), span.label.size());
+        p += span.label.size();
+      }
+      put<std::uint64_t>(p, reply.spans_dropped);
+      put<std::uint64_t>(p, reply.spans_total);
       break;
   }
   return buf;
@@ -327,9 +387,79 @@ QueryReply decode_reply(const std::uint8_t* data, std::size_t size) {
         reply.window_sketch = collect::decode_sketch(p, end);
       }
       break;
+    case QueryKind::kTraceSpans: {
+      if (end - p < 4) throw std::runtime_error("QueryReply: truncated span count");
+      const auto count = take<std::uint32_t>(p);
+      if (count > kMaxSpanEntries) {
+        throw std::runtime_error("QueryReply: implausible span count");
+      }
+      reply.spans.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (static_cast<std::size_t>(end - p) < kSpanEntryFixedSize) {
+          throw std::runtime_error("QueryReply: truncated span entry");
+        }
+        obs::Span span;
+        span.trace_id = take<std::uint64_t>(p);
+        span.span_id = take<std::uint64_t>(p);
+        span.parent_id = take<std::uint64_t>(p);
+        const auto kind_byte = take<std::uint8_t>(p);
+        if (kind_byte < 1 || kind_byte > obs::kSpanKindCount) {
+          throw std::runtime_error("QueryReply: unknown span kind " +
+                                   std::to_string(kind_byte));
+        }
+        span.kind = static_cast<obs::SpanKind>(kind_byte);
+        span.start_ns = static_cast<std::int64_t>(take<std::uint64_t>(p));
+        span.end_ns = static_cast<std::int64_t>(take<std::uint64_t>(p));
+        const auto label_len = take<std::uint16_t>(p);
+        if (static_cast<std::size_t>(end - p) < label_len) {
+          throw std::runtime_error("QueryReply: truncated span label");
+        }
+        span.label.assign(reinterpret_cast<const char*>(p), label_len);
+        p += label_len;
+        if (span.span_id == 0) {
+          throw std::runtime_error("QueryReply: zero span id");
+        }
+        reply.spans.push_back(std::move(span));
+      }
+      if (end - p < 8 + 8) throw std::runtime_error("QueryReply: truncated span totals");
+      reply.spans_dropped = take<std::uint64_t>(p);
+      reply.spans_total = take<std::uint64_t>(p);
+      break;
+    }
   }
   if (p != end) throw std::runtime_error("QueryReply: trailing bytes");
   return reply;
+}
+
+void append_trace_trailer(std::vector<std::uint8_t>& buf, obs::TraceContext ctx) {
+  const std::size_t at = buf.size();
+  buf.resize(at + kTraceTrailerSize);
+  std::uint8_t* p = buf.data() + at;
+  std::memcpy(p, "RLTC", 4);
+  p += 4;
+  put<std::uint8_t>(p, kTraceTrailerVersion);
+  put<std::uint64_t>(p, ctx.trace_id);
+  put<std::uint64_t>(p, ctx.span_id);
+}
+
+bool is_trace_trailer(const std::uint8_t* data, std::size_t size) {
+  return size >= 4 && std::memcmp(data, "RLTC", 4) == 0;
+}
+
+obs::TraceContext decode_trace_trailer(const std::uint8_t* data, std::size_t size) {
+  if (size != kTraceTrailerSize || !is_trace_trailer(data, size)) {
+    throw std::runtime_error("trace trailer: bad size or magic");
+  }
+  const std::uint8_t* p = data + 4;
+  const auto version = take<std::uint8_t>(p);
+  if (version != kTraceTrailerVersion) {
+    throw std::runtime_error("trace trailer: unsupported version");
+  }
+  obs::TraceContext ctx;
+  ctx.trace_id = take<std::uint64_t>(p);
+  ctx.span_id = take<std::uint64_t>(p);
+  if (ctx.trace_id == 0) throw std::runtime_error("trace trailer: zero trace id");
+  return ctx;
 }
 
 }  // namespace rlir::transport

@@ -9,6 +9,10 @@
 //
 //   query:  u8 kind | u32 k | f64 q | 5-tuple (13 bytes)
 //           | u32 epoch_first | u32 epoch_last
+//           [| u8 flags(=1) | u64 trace_id | u64 parent_span_id]
+//           (the optional 17-byte trace-context block: absent = untraced,
+//           bit-identical to the pre-tracing payload, so old peers and old
+//           captures stay valid; present = exactly these 17 bytes)
 //   reply:  u8 kind | kind-specific body:
 //     kFleet        -> sketch segment
 //     kTopK         -> u32 count | count x (f64 rank | 5-tuple | u64 packets
@@ -28,6 +32,10 @@
 //                      | sketch segment (when present; the sketch rides
 //                      along so a coordinator can merge split flows exactly
 //                      and re-derive the quantile)
+//     kTraceSpans   -> u32 count | count x span | u64 dropped | u64 total
+//                      (span = u64 trace_id | u64 span_id | u64 parent_id
+//                       | u8 kind | i64 start_ns | i64 end_ns
+//                       | u16 label_len | label bytes)
 // docs/WIRE.md carries the byte-level offset tables and validation rules.
 #pragma once
 
@@ -40,6 +48,7 @@
 #include "collect/sharded_collector.h"
 #include "common/latency_sketch.h"
 #include "net/flow_key.h"
+#include "obs/span.h"
 #include "obs/wire.h"
 
 namespace rlir::transport {
@@ -73,7 +82,17 @@ enum class QueryKind : std::uint8_t {
   /// Time-travel: one flow's quantile over the window, with the merged
   /// window sketch riding along for exact cross-agent merging.
   kWindowFlowQuantile = 10,
+  /// Tracing: the agent's span ring. The trace-context block doubles as the
+  /// filter — present means "only spans of trace_id", absent means the
+  /// whole ring. Meta-rule: kTraceSpans itself is never traced (no span on
+  /// any hop), so pulling a trace cannot pollute it. A coordinator unions
+  /// these rings to assemble a cross-process trace.
+  kTraceSpans = 11,
 };
+
+/// Stable exposition name for a query kind ("fleet", "top_k", ...), used as
+/// span labels and in trace dumps.
+[[nodiscard]] const char* query_kind_name(QueryKind kind);
 
 struct Query {
   QueryKind kind = QueryKind::kFleet;
@@ -87,6 +106,10 @@ struct Query {
   /// (reject-don't-guess, like every other validation here).
   std::uint32_t epoch_first = 0;
   std::uint32_t epoch_last = 0;
+  /// Distributed-trace context. Invalid (trace_id == 0) encodes to the
+  /// legacy 34-byte payload; valid appends the 17-byte trace block. For
+  /// kTraceSpans it is the ring filter instead (see QueryKind).
+  obs::TraceContext trace;
 };
 
 /// What a window reply's merged answer actually covers — the wire form of
@@ -164,6 +187,12 @@ struct QueryReply {
   /// kWindowFlowQuantile, the target never appeared in the window). An
   /// agent without a history store answers covered=false, absent.
   std::optional<common::LatencySketch> window_sketch;
+  /// kTraceSpans: the answering process's retained spans (filtered to the
+  /// requested trace when the query carried one), oldest first, plus the
+  /// ring's eviction accounting so an assembler can flag gaps.
+  std::vector<obs::Span> spans;
+  std::uint64_t spans_dropped = 0;                  // kTraceSpans
+  std::uint64_t spans_total = 0;                    // kTraceSpans
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const Query& query);
@@ -173,5 +202,29 @@ struct QueryReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_reply(const QueryReply& reply);
 /// Throws std::runtime_error on malformed input.
 [[nodiscard]] QueryReply decode_reply(const std::uint8_t* data, std::size_t size);
+
+// --- Record-batch trace trailer --------------------------------------------
+// A traced client appends one 21-byte trailer after the last RLES batch in a
+// kRecordBatch payload: "RLTC" | u8 version(1) | u64 trace_id | u64 span_id.
+// The agent peeks the 4-byte magic at each batch boundary (unambiguous vs
+// "RLES"), so untraced payloads are bit-identical to before and an agent that
+// predates tracing rejects the trailer like any other corrupt batch — which
+// is why clients only emit it when tracing is attached (version-gated
+// deployment rule in docs/WIRE.md).
+
+inline constexpr std::size_t kTraceTrailerSize = 4 + 1 + 8 + 8;
+inline constexpr std::uint8_t kTraceTrailerVersion = 1;
+
+/// Appends the trailer for `ctx` (which must be valid) to `buf`.
+void append_trace_trailer(std::vector<std::uint8_t>& buf, obs::TraceContext ctx);
+
+/// Does `data` start with the trailer magic? (A cheap boundary peek; does
+/// not validate the rest.)
+[[nodiscard]] bool is_trace_trailer(const std::uint8_t* data, std::size_t size);
+
+/// Decodes a trailer that must occupy exactly [data, data+size). Throws
+/// std::runtime_error on bad version, zero trace id, or size mismatch.
+[[nodiscard]] obs::TraceContext decode_trace_trailer(const std::uint8_t* data,
+                                                     std::size_t size);
 
 }  // namespace rlir::transport

@@ -121,7 +121,9 @@ TEST(FlatHashMap, RandomizedOracleAgainstUnorderedMap) {
         const auto it = flat.find(key);
         const auto oit = oracle.find(key);
         ASSERT_EQ(it == flat.end(), oit == oracle.end()) << "key " << key;
-        if (oit != oracle.end()) EXPECT_EQ(it->second, oit->second);
+        if (oit != oracle.end()) {
+          EXPECT_EQ(it->second, oit->second);
+        }
         break;
       }
     }

@@ -180,5 +180,65 @@ TEST(HttpMetricsTest, NullArgumentsThrow) {
                std::invalid_argument);
 }
 
+TEST(HttpMetricsTest, AddedRoutesServeAlongsideMetrics) {
+  auto listener = std::make_unique<FakeListener>();
+  auto queue = listener->queue();
+  HttpMetricsServer server(std::move(listener), [] { return std::string("up 1\n"); });
+  server.add_route("/healthz", [] { return std::string("{\"status\":\"ok\"}\n"); });
+  server.add_route("/trace", [] { return std::string("{\"traceEvents\":[]}\n"); });
+
+  const auto health = roundtrip(server, queue, "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(health.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(health.find("{\"status\":\"ok\"}\n"), std::string::npos);
+
+  // Query strings are stripped for every route, not just /metrics.
+  const auto trace = roundtrip(server, queue, "GET /trace?trace_id=7 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(trace.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(trace.find("{\"traceEvents\":[]}\n"), std::string::npos);
+
+  // /metrics keeps its own content type next to the JSON routes.
+  const auto metrics = roundtrip(server, queue, "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(metrics.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpMetricsTest, NewRoutesKeep404And405Behavior) {
+  auto listener = std::make_unique<FakeListener>();
+  auto queue = listener->queue();
+  HttpMetricsServer server(std::move(listener), [] { return std::string("x\n"); });
+  server.add_route("/healthz", [] { return std::string("ok\n"); });
+
+  // Near-miss targets are 404, with the original hint body intact.
+  const auto miss = roundtrip(server, queue, "GET /healthz/extra HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(miss.rfind("HTTP/1.1 404 ", 0), 0u);
+  EXPECT_NE(miss.find("try /metrics\n"), std::string::npos);
+  EXPECT_EQ(roundtrip(server, queue, "GET /health HTTP/1.1\r\n\r\n").rfind("HTTP/1.1 404 ", 0),
+            0u);
+
+  // Non-GET methods are 405 on added routes too.
+  const auto post = roundtrip(server, queue, "POST /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405 ", 0), 0u);
+  EXPECT_NE(post.find("Allow: GET\r\n"), std::string::npos);
+  EXPECT_EQ(server.requests_rejected(), 3u);
+}
+
+TEST(HttpMetricsTest, AddRouteReplacesAndValidates) {
+  auto listener = std::make_unique<FakeListener>();
+  auto queue = listener->queue();
+  HttpMetricsServer server(std::move(listener), [] { return std::string("x\n"); });
+  server.add_route("/healthz", [] { return std::string("v1\n"); });
+  server.add_route("/healthz", [] { return std::string("v2\n"); });
+
+  const auto response = roundtrip(server, queue, "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("v2\n"), std::string::npos);
+  EXPECT_EQ(response.find("v1\n"), std::string::npos);
+
+  EXPECT_THROW(server.add_route("", [] { return std::string(); }), std::invalid_argument);
+  EXPECT_THROW(server.add_route("no-slash", [] { return std::string(); }),
+               std::invalid_argument);
+  EXPECT_THROW(server.add_route("/null", nullptr), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rlir::transport

@@ -1,0 +1,93 @@
+// obs::to_chrome_trace: golden-output tests for the Chrome trace_event JSON
+// export. The format is a wire contract with chrome://tracing / Perfetto —
+// "X" complete events with microsecond ts/dur (ns kept in the fraction),
+// pid = process index with process_name metadata, hex span ids in args —
+// so the expected documents are spelled out byte for byte.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlir::obs {
+namespace {
+
+Span make_span(std::uint64_t trace_id, std::uint64_t span_id, std::uint64_t parent_id,
+               SpanKind kind, std::int64_t start_ns, std::int64_t end_ns,
+               std::string label) {
+  Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent_id;
+  span.kind = kind;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.label = std::move(label);
+  return span;
+}
+
+TEST(ChromeTraceTest, EmptySingleProcessDocument) {
+  EXPECT_EQ(to_chrome_trace({}, "rlir"),
+            "{\"traceEvents\":[\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+            "\"args\":{\"name\":\"rlir\"}}"
+            "\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ChromeTraceTest, MultiProcessGolden) {
+  std::vector<std::pair<std::string, std::vector<Span>>> processes;
+  processes.emplace_back(
+      "coordinator",
+      std::vector<Span>{make_span(0xabc, 0x1, 0, SpanKind::kCoordMerge, 1000, 5000,
+                                  "fleet")});
+  processes.emplace_back(
+      "agent0",
+      std::vector<Span>{make_span(0xabc, 0x2, 0x1, SpanKind::kAgentAnswer, 2000, 2500,
+                                  "say \"hi\"\\")});
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"coordinator\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"agent0\"}},\n"
+      "{\"name\":\"coord_merge\",\"cat\":\"merge\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":4.000,\"pid\":0,\"tid\":1,"
+      "\"args\":{\"trace_id\":\"abc\",\"span_id\":\"1\",\"parent_id\":\"0\","
+      "\"label\":\"fleet\"}},\n"
+      "{\"name\":\"agent_answer\",\"cat\":\"answer\",\"ph\":\"X\","
+      "\"ts\":2.000,\"dur\":0.500,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"trace_id\":\"abc\",\"span_id\":\"2\",\"parent_id\":\"1\","
+      "\"label\":\"say \\\"hi\\\"\\\\\"}}"
+      "\n],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(to_chrome_trace(processes), expected);
+}
+
+TEST(ChromeTraceTest, NegativeDurationClampsToZero) {
+  // A clock step between start and end must not produce a negative dur —
+  // Chrome renders those as garbage.
+  const auto doc = to_chrome_trace(
+      {make_span(0x5, 0x6, 0, SpanKind::kClientPump, 9000, 8000, "")}, "p");
+  EXPECT_NE(doc.find("\"dur\":0.000"), std::string::npos);
+  EXPECT_EQ(doc.find("-"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ControlCharactersEscaped) {
+  const auto doc = to_chrome_trace(
+      {make_span(0x1, 0x2, 0, SpanKind::kEpochSeal, 0, 1, "a\nb\tc\x01")}, "p");
+  EXPECT_NE(doc.find("a\\nb\\tc\\u0001"), std::string::npos);
+  EXPECT_EQ(doc.find('\x01'), std::string::npos);
+}
+
+TEST(ChromeTraceTest, SubMicrosecondPrecisionKept) {
+  // 1234 ns -> ts 1.234 us: nanosecond offsets survive in the fraction.
+  const auto doc = to_chrome_trace(
+      {make_span(0x1, 0x2, 0, SpanKind::kClientQuery, 1234, 2791, "")}, "p");
+  EXPECT_NE(doc.find("\"ts\":1.234"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":1.557"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlir::obs

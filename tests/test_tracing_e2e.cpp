@@ -1,0 +1,185 @@
+// The tracing acceptance bar: one coordinator query against a 4-agent fleet
+// must yield an assembled cross-process trace containing every hop — the
+// coordinator's merge span, one leg span per agent, one client query span
+// per leg, and one answer span inside each agent's own ring — with parent
+// links that resolve inside the assembly and timestamps that never run
+// backwards. Proven over loopback pipes AND over real Unix-domain sockets
+// with each agent on its own thread (the shard-per-process shape).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/span.h"
+#include "transport/agent.h"
+#include "transport/byte_stream.h"
+#include "transport/coordinator.h"
+#include "transport/socket.h"
+
+namespace rlir::transport {
+namespace {
+
+constexpr std::size_t kAgents = 4;
+
+std::size_t count_kind(const AssembledTrace& trace, obs::SpanKind kind) {
+  std::size_t n = 0;
+  for (const auto& [name, spans] : trace.processes) {
+    for (const auto& span : spans) {
+      if (span.kind == kind) n += 1;
+    }
+  }
+  return n;
+}
+
+/// The acceptance predicate, shared by both transports.
+void expect_complete_trace(const AssembledTrace& trace) {
+  ASSERT_NE(trace.trace_id, 0u);
+  EXPECT_EQ(trace.agents_answered, kAgents);
+  ASSERT_EQ(trace.processes.size(), 1 + kAgents);
+  EXPECT_EQ(trace.processes[0].first, "coordinator");
+
+  // Every hop is present: one merge, a leg + a client query per agent, and
+  // an answer span in each agent's own ring.
+  EXPECT_EQ(count_kind(trace, obs::SpanKind::kCoordMerge), 1u);
+  EXPECT_EQ(count_kind(trace, obs::SpanKind::kCoordLeg), kAgents);
+  EXPECT_EQ(count_kind(trace, obs::SpanKind::kClientQuery), kAgents);
+  EXPECT_EQ(count_kind(trace, obs::SpanKind::kAgentAnswer), kAgents);
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    EXPECT_EQ(trace.processes[1 + i].first, "agent" + std::to_string(i));
+    ASSERT_EQ(trace.processes[1 + i].second.size(), 1u);
+    EXPECT_EQ(trace.processes[1 + i].second[0].kind, obs::SpanKind::kAgentAnswer);
+  }
+
+  std::map<std::uint64_t, const obs::Span*> by_id;
+  for (const auto& [name, spans] : trace.processes) {
+    for (const auto& span : spans) {
+      EXPECT_EQ(span.trace_id, trace.trace_id);
+      EXPECT_NE(span.span_id, 0u);
+      EXPECT_GE(span.end_ns, span.start_ns) << "span timestamps ran backwards";
+      EXPECT_TRUE(by_id.emplace(span.span_id, &span).second) << "duplicate span id";
+    }
+  }
+
+  // Parent links form one consistent tree: the merge is the only root, and
+  // every other parent resolves to a span IN the assembly with the expected
+  // hop-to-hop kind chain (merge -> leg -> client query -> agent answer).
+  for (const auto& [id, span] : by_id) {
+    if (span->kind == obs::SpanKind::kCoordMerge) {
+      EXPECT_EQ(span->parent_id, 0u);
+      continue;
+    }
+    const auto parent = by_id.find(span->parent_id);
+    ASSERT_NE(parent, by_id.end()) << "orphan span " << span->label;
+    switch (span->kind) {
+      case obs::SpanKind::kCoordLeg:
+        EXPECT_EQ(parent->second->kind, obs::SpanKind::kCoordMerge);
+        break;
+      case obs::SpanKind::kClientQuery:
+        EXPECT_EQ(parent->second->kind, obs::SpanKind::kCoordLeg);
+        break;
+      case obs::SpanKind::kAgentAnswer:
+        EXPECT_EQ(parent->second->kind, obs::SpanKind::kClientQuery);
+        break;
+      default:
+        break;
+    }
+    // A child never starts before its parent (same clock per process; the
+    // cross-process hops here share one host, so the bound holds).
+    EXPECT_GE(span->start_ns, parent->second->start_ns);
+  }
+
+  // And the document it renders to is loadable Chrome JSON.
+  const auto json = obs::to_chrome_trace(trace.processes);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"agent3\""), std::string::npos);
+  EXPECT_NE(json.find("\"coord_merge\""), std::string::npos);
+}
+
+TEST(TracingE2E, LoopbackFleetAssemblesEveryHop) {
+  std::vector<std::unique_ptr<obs::SpanRecorder>> agent_spans;
+  std::vector<std::unique_ptr<CollectorAgent>> agents;
+  obs::SpanRecorder coord_spans;
+  QueryCoordinatorConfig cfg;
+  cfg.instruments.spans = &coord_spans;
+  QueryCoordinator coord(cfg);
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    agent_spans.push_back(std::make_unique<obs::SpanRecorder>());
+    CollectorAgentConfig acfg;
+    acfg.instruments.spans = agent_spans[i].get();
+    agents.push_back(std::make_unique<CollectorAgent>(acfg));
+    coord.add_agent([&agents, i]() {
+      auto [client_end, agent_end] = make_loopback();
+      agents[i]->add_connection(std::move(agent_end));
+      return std::move(client_end);
+    });
+  }
+  coord.set_drive([&agents] {
+    for (auto& agent : agents) agent->poll();
+  });
+  ASSERT_EQ(coord.connected_count(), kAgents);
+
+  (void)coord.fleet();  // ONE traced query against the fleet
+  expect_complete_trace(coord.collect_trace());
+}
+
+TEST(TracingE2E, UnixSocketFleetAssemblesEveryHop) {
+  std::vector<std::unique_ptr<SocketListener>> listeners;
+  std::vector<SocketAddress> addresses;
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    const std::string path = testing::TempDir() + "rlir_trace_" +
+                             std::to_string(::getpid()) + "_" + std::to_string(i) + ".sock";
+    try {
+      listeners.push_back(
+          std::make_unique<SocketListener>(SocketAddress::unix_path(path)));
+    } catch (const std::system_error&) {
+      GTEST_SKIP() << "sandbox forbids unix sockets";
+    }
+    addresses.push_back(listeners.back()->address());
+  }
+
+  // The deployment shape: each agent owns its thread (as it would own its
+  // process) with its own span ring, reached only through the kernel.
+  std::vector<std::unique_ptr<obs::SpanRecorder>> agent_spans;
+  std::vector<std::unique_ptr<CollectorAgent>> agents;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    agent_spans.push_back(std::make_unique<obs::SpanRecorder>());
+    CollectorAgentConfig acfg;
+    acfg.instruments.spans = agent_spans[i].get();
+    agents.push_back(std::make_unique<CollectorAgent>(acfg));
+    agents[i]->set_listener(std::move(listeners[i]));
+    // Capture the stable agent pointer, not the still-growing vector — a
+    // later push_back reallocates under the running thread otherwise.
+    CollectorAgent* agent = agents[i].get();
+    threads.emplace_back(
+        [agent, &stop] { agent->run(stop, timebase::Duration::microseconds(100)); });
+  }
+
+  {
+    obs::SpanRecorder coord_spans;
+    QueryCoordinatorConfig cfg;
+    cfg.instruments.spans = &coord_spans;
+    QueryCoordinator coord(cfg);
+    for (const auto& address : addresses) {
+      coord.add_agent([address]() { return connect_to(address); });
+    }
+
+    (void)coord.fleet();  // ONE traced query against the fleet
+    expect_complete_trace(coord.collect_trace());
+  }
+
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace rlir::transport

@@ -1,0 +1,193 @@
+// The tracing additions to the query-plane codecs: the optional 17-byte
+// trace-context block on kQuery payloads (absent = bit-identical legacy 34
+// bytes), the 21-byte RLTC record-batch trailer, and the kTraceSpans reply
+// — round-trips plus the reject-don't-guess validations (bad flags, zero
+// ids, out-of-range span kinds, truncation, trailing bytes).
+#include "transport/messages.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace rlir::transport {
+namespace {
+
+constexpr std::size_t kLegacyQuerySize = 34;
+constexpr std::size_t kTracedQuerySize = kLegacyQuerySize + 17;
+
+Query sample_query() {
+  Query query;
+  query.kind = QueryKind::kTopK;
+  query.k = 5;
+  query.q = 0.99;
+  query.key.src = net::Ipv4Address(10, 0, 0, 1);
+  query.key.dst = net::Ipv4Address(10, 1, 0, 2);
+  query.key.src_port = 4000;
+  query.key.dst_port = 80;
+  query.epoch_first = 3;
+  query.epoch_last = 9;
+  return query;
+}
+
+obs::Span sample_span(std::uint64_t trace_id, std::uint64_t span_id,
+                      std::uint64_t parent_id, obs::SpanKind kind, std::string label) {
+  obs::Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent_id;
+  span.kind = kind;
+  span.start_ns = 1'700'000'000'123'456'789;
+  span.end_ns = 1'700'000'000'123'500'000;
+  span.label = std::move(label);
+  return span;
+}
+
+TEST(TracingWireTest, UntracedQueryStaysLegacy34Bytes) {
+  const auto bytes = encode_query(sample_query());
+  ASSERT_EQ(bytes.size(), kLegacyQuerySize);
+  const auto decoded = decode_query(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.kind, QueryKind::kTopK);
+  EXPECT_EQ(decoded.k, 5u);
+  EXPECT_FALSE(decoded.trace.valid());
+  EXPECT_EQ(decoded.trace.span_id, 0u);
+}
+
+TEST(TracingWireTest, TracedQueryRoundTrips51Bytes) {
+  Query query = sample_query();
+  query.trace = obs::TraceContext{0x1122334455667788ULL, 0xa1b2c3d4e5f60718ULL};
+  const auto bytes = encode_query(query);
+  ASSERT_EQ(bytes.size(), kTracedQuerySize);
+  const auto decoded = decode_query(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.trace.trace_id, query.trace.trace_id);
+  EXPECT_EQ(decoded.trace.span_id, query.trace.span_id);
+  EXPECT_EQ(decoded.kind, query.kind);
+  EXPECT_EQ(decoded.epoch_last, query.epoch_last);
+}
+
+TEST(TracingWireTest, QueryRejectsMalformedTraceBlock) {
+  Query query = sample_query();
+  query.trace = obs::TraceContext{42, 43};
+  auto bytes = encode_query(query);
+
+  // Sizes strictly between the two valid payloads.
+  EXPECT_THROW((void)decode_query(bytes.data(), kLegacyQuerySize + 1), std::runtime_error);
+  EXPECT_THROW((void)decode_query(bytes.data(), kTracedQuerySize - 1), std::runtime_error);
+
+  // Unknown flags byte.
+  auto bad_flags = bytes;
+  bad_flags[kLegacyQuerySize] = 2;
+  EXPECT_THROW((void)decode_query(bad_flags.data(), bad_flags.size()), std::runtime_error);
+
+  // A present block with trace id 0 ("traced by nothing") is a contradiction.
+  auto zero_trace = bytes;
+  for (std::size_t i = 0; i < 8; ++i) zero_trace[kLegacyQuerySize + 1 + i] = 0;
+  EXPECT_THROW((void)decode_query(zero_trace.data(), zero_trace.size()), std::runtime_error);
+}
+
+TEST(TracingWireTest, TraceTrailerRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  append_trace_trailer(buf, obs::TraceContext{0xdeadbeefULL, 0xfeedfaceULL});
+  ASSERT_EQ(buf.size(), kTraceTrailerSize);
+  EXPECT_TRUE(is_trace_trailer(buf.data(), buf.size()));
+
+  const auto ctx = decode_trace_trailer(buf.data(), buf.size());
+  EXPECT_EQ(ctx.trace_id, 0xdeadbeefULL);
+  EXPECT_EQ(ctx.span_id, 0xfeedfaceULL);
+}
+
+TEST(TracingWireTest, TraceTrailerRejectsMalformed) {
+  std::vector<std::uint8_t> buf;
+  append_trace_trailer(buf, obs::TraceContext{1, 2});
+
+  // The magic peek must not confuse a batch header for a trailer.
+  const std::uint8_t rles[] = {'R', 'L', 'E', 'S', 0, 0, 0, 0};
+  EXPECT_FALSE(is_trace_trailer(rles, sizeof rles));
+  EXPECT_FALSE(is_trace_trailer(buf.data(), 3));  // too short to hold magic
+
+  auto bad_version = buf;
+  bad_version[4] = 9;
+  EXPECT_THROW((void)decode_trace_trailer(bad_version.data(), bad_version.size()),
+               std::runtime_error);
+
+  auto zero_trace = buf;
+  for (std::size_t i = 0; i < 8; ++i) zero_trace[5 + i] = 0;
+  EXPECT_THROW((void)decode_trace_trailer(zero_trace.data(), zero_trace.size()),
+               std::runtime_error);
+
+  EXPECT_THROW((void)decode_trace_trailer(buf.data(), buf.size() - 1), std::runtime_error);
+  buf.push_back(0);  // trailer must occupy EXACTLY the remaining bytes
+  EXPECT_THROW((void)decode_trace_trailer(buf.data(), buf.size()), std::runtime_error);
+}
+
+QueryReply sample_trace_reply() {
+  QueryReply reply;
+  reply.kind = QueryKind::kTraceSpans;
+  reply.spans.push_back(
+      sample_span(10, 11, 0, obs::SpanKind::kCoordMerge, "fleet"));
+  reply.spans.push_back(
+      sample_span(10, 12, 11, obs::SpanKind::kAgentAnswer, ""));
+  reply.spans_dropped = 7;
+  reply.spans_total = 9;
+  return reply;
+}
+
+TEST(TracingWireTest, TraceSpansReplyRoundTrips) {
+  const auto reply = sample_trace_reply();
+  const auto bytes = encode_reply(reply);
+  const auto decoded = decode_reply(bytes.data(), bytes.size());
+
+  EXPECT_EQ(decoded.kind, QueryKind::kTraceSpans);
+  ASSERT_EQ(decoded.spans.size(), 2u);
+  EXPECT_EQ(decoded.spans[0].trace_id, 10u);
+  EXPECT_EQ(decoded.spans[0].span_id, 11u);
+  EXPECT_EQ(decoded.spans[0].parent_id, 0u);
+  EXPECT_EQ(decoded.spans[0].kind, obs::SpanKind::kCoordMerge);
+  EXPECT_EQ(decoded.spans[0].start_ns, reply.spans[0].start_ns);
+  EXPECT_EQ(decoded.spans[0].end_ns, reply.spans[0].end_ns);
+  EXPECT_EQ(decoded.spans[0].label, "fleet");
+  EXPECT_EQ(decoded.spans[1].parent_id, 11u);
+  EXPECT_EQ(decoded.spans[1].label, "");
+  EXPECT_EQ(decoded.spans_dropped, 7u);
+  EXPECT_EQ(decoded.spans_total, 9u);
+}
+
+// Reply layout: u8 kind | u32 count | entries | u64 dropped | u64 total.
+// First entry at 5; within an entry: trace(8) span(8) parent(8) kind(1) ...
+constexpr std::size_t kFirstEntry = 1 + 4;
+constexpr std::size_t kEntrySpanId = kFirstEntry + 8;
+constexpr std::size_t kEntryKind = kFirstEntry + 24;
+
+TEST(TracingWireTest, TraceSpansReplyRejectsBadSpanKind) {
+  auto bytes = encode_reply(sample_trace_reply());
+  bytes[kEntryKind] = 0;
+  EXPECT_THROW((void)decode_reply(bytes.data(), bytes.size()), std::runtime_error);
+  bytes[kEntryKind] = static_cast<std::uint8_t>(obs::kSpanKindCount + 1);
+  EXPECT_THROW((void)decode_reply(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(TracingWireTest, TraceSpansReplyRejectsZeroSpanId) {
+  auto bytes = encode_reply(sample_trace_reply());
+  for (std::size_t i = 0; i < 8; ++i) bytes[kEntrySpanId + i] = 0;
+  EXPECT_THROW((void)decode_reply(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(TracingWireTest, TraceSpansReplyRejectsTruncationAndTrailingBytes) {
+  auto bytes = encode_reply(sample_trace_reply());
+  EXPECT_THROW((void)decode_reply(bytes.data(), bytes.size() - 1), std::runtime_error);
+  EXPECT_THROW((void)decode_reply(bytes.data(), kFirstEntry + 10), std::runtime_error);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_reply(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(TracingWireTest, QueryKindNamesAreStable) {
+  EXPECT_STREQ(query_kind_name(QueryKind::kFleet), "fleet");
+  EXPECT_STREQ(query_kind_name(QueryKind::kTraceSpans), "trace_spans");
+  EXPECT_STREQ(query_kind_name(QueryKind::kWindowFlowQuantile), "window_flow_quantile");
+}
+
+}  // namespace
+}  // namespace rlir::transport
